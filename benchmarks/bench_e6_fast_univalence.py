@@ -1,0 +1,56 @@
+"""E6 — Lemma 6.4: fast protocols are univalent after a failure-free round.
+
+For a protocol that always decides within t+1 rounds, any state reached
+with <= k failures by round k followed by a failure-free round must be
+univalent.  Regenerates the exhaustive check table for FloodSet and EIG.
+"""
+
+import pytest
+
+from benchmarks.helpers import save_table
+from repro.analysis.reports import render_table
+from repro.analysis.sync_lower_bound import lemma_6_4
+from repro.protocols.eig import EIG
+from repro.protocols.floodset import FloodSet
+
+CASES = [
+    ("FloodSet(t+1)", 3, 1, lambda t: FloodSet(t + 1)),
+    ("EIG(t+1)", 3, 1, lambda t: EIG(t + 1)),
+]
+
+
+@pytest.mark.parametrize(
+    "name,n,t,factory", CASES, ids=[c[0] for c in CASES]
+)
+def test_e6_fast_univalence(benchmark, name, n, t, factory):
+    report = benchmark(lambda: lemma_6_4(n, t, protocol=factory(t)))
+    assert report.holds
+    assert report.witnesses["violations"] == 0
+
+
+def test_e6_table(benchmark):
+    def build():
+        rows = []
+        for name, n, t, factory in CASES:
+            report = lemma_6_4(n, t, protocol=factory(t))
+            rows.append(
+                [
+                    name,
+                    n,
+                    t,
+                    report.witnesses["checked"],
+                    report.witnesses["violations"],
+                    report.holds,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_table(
+        "e6_fast_univalence",
+        "E6 (Lemma 6.4): failure-free rounds after <=k failures force "
+        "univalence for fast protocols",
+        render_table(
+            ["protocol", "n", "t", "checked", "bivalent", "holds"], rows
+        ),
+    )

@@ -1,0 +1,88 @@
+"""E8 — Lemma 7.6 / Theorem 7.7: s-diameter growth tables.
+
+Measures the s-diameters of layered state sets round by round against the
+composition bound ``d_X d_Y + d_X + d_Y``, and tabulates the Theorem 7.7
+bound series with ``d_Y^m = 2(n - m)``.
+"""
+
+import pytest
+
+from benchmarks.helpers import save_table
+from repro.analysis.solvability_experiments import (
+    diameter_table,
+    theorem_7_7_table,
+)
+from repro.analysis.reports import render_table
+from repro.layerings.s1_mobile import S1MobileLayering
+from repro.models.mobile import MobileModel
+from repro.protocols.floodset import FloodSet
+from repro.tasks.diameter import check_lemma_7_6, theorem_7_7_series
+
+
+def make_layering():
+    return S1MobileLayering(MobileModel(FloodSet(3), 3))
+
+
+def test_e8_lemma_7_6_one_round(benchmark):
+    layering = make_layering()
+    initials = layering.model.initial_states((0, 1))
+    report = benchmark(lambda: check_lemma_7_6(layering, initials))
+    assert report["holds"]
+
+
+def test_e8_measured_table(benchmark):
+    layering = make_layering()
+    initials = layering.model.initial_states((0, 1))
+
+    def build():
+        return diameter_table(layering, initials, rounds=2)
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = []
+    for row in table:
+        if "note" in row:
+            rows.append([row["round"], row["note"], None, None, None, None])
+            continue
+        assert row["holds"], row
+        rows.append(
+            [
+                row["round"],
+                row["set_size"],
+                row["d_X"],
+                row["d_Y"],
+                row["d_S(X)"],
+                row["bound"],
+            ]
+        )
+    save_table(
+        "e8_measured_diameters",
+        "E8 (Lemma 7.6): measured s-diameters vs the composition bound "
+        "(S_1 over M^mf, n=3)",
+        render_table(
+            ["round", "|X|", "d_X", "d_Y", "d_S(X)", "bound"], rows
+        ),
+    )
+
+
+@pytest.mark.parametrize("n,t", [(3, 2), (4, 3), (5, 4)])
+def test_e8_theorem_7_7_series(benchmark, n, t):
+    series = benchmark(lambda: theorem_7_7_series(n, t, d_initial=n))
+    assert len(series) == t + 1
+    assert all(a < b for a, b in zip(series, series[1:]))
+
+
+def test_e8_bound_series_table(benchmark):
+    def build():
+        rows = []
+        for n, t in [(3, 2), (4, 3), (5, 4)]:
+            for row in theorem_7_7_table(n, t, d_initial=n):
+                rows.append([n, t, row["round"], row["d_Y^m"], row["d_X^m"]])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_table(
+        "e8_bound_series",
+        "E8 (Theorem 7.7): the diameter-bound recurrence "
+        "d_X^{m+1} = d_X^m d_Y^m + d_X^m + d_Y^m, d_Y^m = 2(n-m)",
+        render_table(["n", "t", "round m", "d_Y^m", "d_X^m"], rows),
+    )

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Each ``bench_e*.py`` module regenerates one experiment of EXPERIMENTS.md:
+it benchmarks the experiment's core computation with pytest-benchmark and
+writes the experiment's table to ``benchmarks/results/<name>.txt`` so the
+rows can be diffed against the recorded ones.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_table(name: str, title: str, table: str) -> Path:
+    """Write a rendered experiment table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(f"{title}\n\n{table}\n")
+    return path

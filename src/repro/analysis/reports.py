@@ -1,0 +1,57 @@
+"""Plain-text table rendering for the experiment drivers and benchmarks.
+
+The benchmark harness prints each experiment's table in the same shape
+EXPERIMENTS.md records; this module owns the formatting so benchmark
+output and documentation stay in sync.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """A minimal fixed-width table renderer (no external dependencies)."""
+    rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for c, value in enumerate(row):
+            widths[c] = max(widths[c], len(value))
+    line = "  ".join(h.ljust(widths[c]) for c, h in enumerate(headers))
+    rule = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(value.ljust(widths[c]) for c, value in enumerate(row))
+        for row in rows
+    ]
+    return "\n".join([line, rule, *body])
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def render_verdict_rows(rows) -> str:
+    """Render LowerBoundRow / Refutation-like records uniformly."""
+    table_rows = []
+    for row in rows:
+        report = row.report
+        table_rows.append(
+            [
+                getattr(row, "protocol_name", getattr(row, "model_name", "?")),
+                getattr(row, "rounds", "-"),
+                report.verdict.value,
+                report.inputs,
+                report.states_explored,
+            ]
+        )
+    return render_table(
+        ["protocol", "rounds", "verdict", "inputs", "states"], table_rows
+    )

@@ -1,0 +1,250 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+::
+
+    python -m repro lower-bound --n 3 --t 1
+    python -m repro impossibility --model permutation --protocol quorum
+    python -m repro solvability --n 3
+    python -m repro lemmas --n 3
+    python -m repro diameter --n 3 --rounds 2
+
+Each subcommand prints the same tables the benchmark harness saves under
+``benchmarks/results/`` — the CLI is the interactive face of the
+experiment drivers in :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.reports import render_table, render_verdict_rows
+
+
+def _cmd_lower_bound(args: argparse.Namespace) -> int:
+    from repro.analysis.sync_lower_bound import (
+        defeat_fast_candidates,
+        verify_tight_protocols,
+    )
+
+    print(f"== Corollary 6.3: the t+1 crossover (n={args.n}, t={args.t}) ==\n")
+    defeated = defeat_fast_candidates(args.n, args.t, args.max_states)
+    verified = verify_tight_protocols(
+        args.n,
+        args.t,
+        args.max_states,
+        include_full_model=args.full_model,
+    )
+    print(render_verdict_rows(defeated + verified))
+    ok = all(r.defeated for r in defeated) and all(
+        r.report.satisfied for r in verified
+    )
+    print(
+        "\ncrossover holds" if ok else "\nUNEXPECTED: crossover violated!"
+    )
+    return 0 if ok else 1
+
+
+PROTOCOLS = {
+    "quorum": lambda n: __import__(
+        "repro.protocols.candidates", fromlist=["QuorumDecide"]
+    ).QuorumDecide(n - 1),
+    "waitforall": lambda n: __import__(
+        "repro.protocols.candidates", fromlist=["WaitForAll"]
+    ).WaitForAll(),
+    "floodset": lambda n: __import__(
+        "repro.protocols.floodset", fromlist=["FloodSet"]
+    ).FloodSet(2),
+    "eig": lambda n: __import__(
+        "repro.protocols.eig", fromlist=["EIG"]
+    ).EIG(2),
+}
+
+
+def _cmd_impossibility(args: argparse.Namespace) -> int:
+    from repro.analysis.impossibility import (
+        refute_candidate,
+        standard_layerings,
+    )
+
+    protocol = PROTOCOLS[args.protocol](args.n)
+    print(
+        f"== Theorem 4.2 on {protocol.name()} (n={args.n}) ==\n"
+    )
+    refutations = refute_candidate(protocol, args.n, args.max_states)
+    if args.model != "all":
+        refutations = [
+            r for r in refutations if r.model_name == args.model
+        ]
+        if not refutations:
+            names = sorted(standard_layerings(protocol, args.n))
+            print(f"unknown model {args.model!r}; choose from {names}")
+            return 2
+    rows = [
+        [
+            r.model_name,
+            r.verdict.value,
+            r.report.inputs,
+            r.report.execution.length if r.report.execution else None,
+            r.report.states_explored,
+        ]
+        for r in refutations
+    ]
+    print(
+        render_table(
+            ["model", "verdict", "inputs", "schedule", "states"], rows
+        )
+    )
+    satisfied = [r for r in refutations if r.report.satisfied]
+    if satisfied:
+        print("\nUNEXPECTED: a candidate was verified — Theorem 4.2 violated!")
+        return 1
+    print("\nno candidate survives any layered model — as the theorem says")
+    return 0
+
+
+def _cmd_solvability(args: argparse.Namespace) -> int:
+    from repro.analysis.solvability_experiments import solvability_matrix
+    from repro.tasks.catalog import EXPECTED_SOLVABLE
+
+    tasks = args.tasks.split(",") if args.tasks else None
+    print(f"== Corollary 7.3: solvability matrix (n={args.n}) ==\n")
+    matrix = solvability_matrix(
+        n=args.n, tasks=tasks, max_states=args.max_states
+    )
+    rows = []
+    ok = True
+    for name, entry in matrix.items():
+        ok = ok and entry.matches_expectation
+        rows.append(
+            [
+                name,
+                entry.row.thick_connected,
+                EXPECTED_SOLVABLE[name],
+                entry.row.operationally_solved,
+                entry.matches_expectation,
+            ]
+        )
+    print(
+        render_table(
+            ["task", "1-thick-conn", "expected", "solver-ok", "consistent"],
+            rows,
+        )
+    )
+    return 0 if ok else 1
+
+
+def _cmd_lemmas(args: argparse.Namespace) -> int:
+    from repro.analysis.lemmas import lemma_3_6_report, lemma_5_1
+    from repro.core.valence import ValenceAnalyzer
+    from repro.layerings.s1_mobile import S1MobileLayering, similarity_chain
+    from repro.models.mobile import MobileModel
+    from repro.protocols.floodset import FloodSet
+
+    layering = S1MobileLayering(MobileModel(FloodSet(2), args.n))
+    analyzer = ValenceAnalyzer(layering, args.max_states)
+    initials = layering.model.initial_states((0, 1))
+    print(f"== Executable lemmas over S_1/M^mf (n={args.n}) ==\n")
+    reports = [lemma_3_6_report(layering, analyzer, initials)]
+    state = reports[0].witnesses.get("bivalent_initial")
+    if state is not None:
+        reports.append(
+            lemma_5_1(
+                layering, analyzer, state, similarity_chain(layering, state)
+            )
+        )
+    rows = [[r.lemma, r.holds, r.detail] for r in reports]
+    print(render_table(["lemma", "holds", "detail"], rows))
+    return 0 if all(r.holds for r in reports) else 1
+
+
+def _cmd_diameter(args: argparse.Namespace) -> int:
+    from repro.analysis.solvability_experiments import diameter_table
+    from repro.layerings.s1_mobile import S1MobileLayering
+    from repro.models.mobile import MobileModel
+    from repro.protocols.floodset import FloodSet
+
+    layering = S1MobileLayering(
+        MobileModel(FloodSet(args.rounds + 1), args.n)
+    )
+    initials = layering.model.initial_states((0, 1))
+    print(
+        f"== Lemma 7.6: measured s-diameters (n={args.n}, "
+        f"{args.rounds} rounds) ==\n"
+    )
+    table = diameter_table(layering, initials, args.rounds)
+    rows = []
+    for row in table:
+        if "note" in row:
+            rows.append([row["round"], row["note"], None, None, None])
+            continue
+        rows.append(
+            [
+                row["round"],
+                row["set_size"],
+                row["d_X"],
+                row["d_S(X)"],
+                row["bound"],
+            ]
+        )
+    print(render_table(["round", "|X|", "d_X", "d_S(X)", "bound"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``python -m repro`` (module docstring)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Executable layered analysis of consensus "
+        "(Moses & Rajsbaum, PODC 1998)",
+    )
+    parser.add_argument(
+        "--max-states",
+        type=int,
+        default=1_000_000,
+        help="exploration budget per analysis",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("lower-bound", help="the t+1-round crossover")
+    p.add_argument("--n", type=int, default=3)
+    p.add_argument("--t", type=int, default=1)
+    p.add_argument("--full-model", action="store_true")
+    p.set_defaults(func=_cmd_lower_bound)
+
+    p = sub.add_parser("impossibility", help="defeat a candidate everywhere")
+    p.add_argument("--n", type=int, default=3)
+    p.add_argument(
+        "--protocol", choices=sorted(PROTOCOLS), default="quorum"
+    )
+    p.add_argument("--model", default="all")
+    p.set_defaults(func=_cmd_impossibility)
+
+    p = sub.add_parser("solvability", help="the Section 7 matrix")
+    p.add_argument("--n", type=int, default=3)
+    p.add_argument(
+        "--tasks", default="consensus,identity,constant,leader-election"
+    )
+    p.set_defaults(func=_cmd_solvability)
+
+    p = sub.add_parser("lemmas", help="executable lemma reports")
+    p.add_argument("--n", type=int, default=3)
+    p.set_defaults(func=_cmd_lemmas)
+
+    p = sub.add_parser("diameter", help="s-diameter growth vs the bound")
+    p.add_argument("--n", type=int, default=3)
+    p.add_argument("--rounds", type=int, default=2)
+    p.set_defaults(func=_cmd_diameter)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI entry
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Core vocabulary and analyses of the layered framework (Sections 2–4).
+
+Everything here is model-independent: global states, runs, similarity,
+valence, connectivity, the layering interface, the bivalent-run engine and
+the exhaustive consensus checker.  Concrete models plug in underneath
+(:mod:`repro.models`), layerings on top (:mod:`repro.layerings`).
+"""
+
+from repro.core.bivalence import (
+    BivalenceStep,
+    NoBivalentSuccessor,
+    bivalent_successor,
+    build_bivalent_execution,
+    build_bivalent_lasso,
+)
+from repro.core.checker import ConsensusChecker, ConsensusReport, Verdict
+from repro.core.connectivity import (
+    con0_chain,
+    find_bivalent,
+    is_valence_connected,
+    lemma_3_3_edges,
+    lemma_3_4,
+    lemma_3_5,
+    lemma_3_6,
+    shared_valence,
+    valence_graph,
+)
+from repro.core.exploration import ExplorationStats, explore, reachable_states
+from repro.core.faulty import (
+    agree_modulo_refined,
+    check_crash_display,
+    check_fault_independence,
+    displays_no_finite_failure,
+)
+from repro.core.run import Execution, RunWitness, paste, pasting_violations
+from repro.core.similarity import (
+    is_similarity_connected,
+    s_diameter,
+    similar,
+    similarity_graph,
+    similarity_witnesses,
+)
+from repro.core.state import (
+    GlobalState,
+    agree_modulo,
+    agreement_witnesses,
+    differing_processes,
+)
+from repro.core.valence import (
+    ExplorationLimitExceeded,
+    ValenceAnalyzer,
+    ValenceResult,
+)
+
+__all__ = [
+    "BivalenceStep",
+    "ConsensusChecker",
+    "ConsensusReport",
+    "ExplorationLimitExceeded",
+    "ExplorationStats",
+    "Execution",
+    "GlobalState",
+    "NoBivalentSuccessor",
+    "RunWitness",
+    "ValenceAnalyzer",
+    "ValenceResult",
+    "Verdict",
+    "agree_modulo",
+    "agree_modulo_refined",
+    "agreement_witnesses",
+    "bivalent_successor",
+    "build_bivalent_execution",
+    "build_bivalent_lasso",
+    "check_crash_display",
+    "check_fault_independence",
+    "con0_chain",
+    "differing_processes",
+    "displays_no_finite_failure",
+    "explore",
+    "find_bivalent",
+    "is_similarity_connected",
+    "is_valence_connected",
+    "lemma_3_3_edges",
+    "lemma_3_4",
+    "lemma_3_5",
+    "lemma_3_6",
+    "paste",
+    "pasting_violations",
+    "reachable_states",
+    "s_diameter",
+    "shared_valence",
+    "similar",
+    "similarity_graph",
+    "similarity_witnesses",
+    "valence_graph",
+]

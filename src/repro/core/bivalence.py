@@ -1,0 +1,160 @@
+"""The bivalent-run construction (Lemma 4.1 / Theorem 4.2).
+
+Theorem 4.2's proof is a loop: start at a bivalent initial state (Lemma
+3.6), and as long as every layer ``S(x)`` is valence connected, pick a
+bivalent successor (Lemma 4.1) — forever.  This module runs that loop for
+real: given a layered system and a valence analyzer it *constructs* the
+forever-bivalent run, and because the shipped protocols are finite-state,
+the construction closes into a lasso (an eventually-periodic presentation
+of the infinite bivalent run) rather than stopping at an arbitrary depth.
+
+The loop's step is witness-producing: :func:`bivalent_successor` returns
+the action chosen and asserts Lemma 4.1's guarantee — if the state is
+bivalent and its layer is valence connected, a bivalent successor exists.
+When the guarantee fails (e.g. under ``S^t`` once the failure budget is
+exhausted and layers stop being valence connected) the construction
+reports exactly where, which is the observable difference between the
+asynchronous impossibility results and the synchronous lower bound.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.connectivity import is_valence_connected
+from repro.core.run import Execution, RunWitness
+from repro.core.state import GlobalState
+from repro.core.valence import ValenceAnalyzer
+
+
+@dataclass(frozen=True)
+class BivalenceStep:
+    """One executed step of the Theorem 4.2 loop."""
+
+    action: Hashable
+    state: GlobalState
+    layer_size: int
+    layer_valence_connected: bool
+
+
+class NoBivalentSuccessor(RuntimeError):
+    """Raised when a bivalent state has no bivalent successor.
+
+    By Lemma 4.1 this can only happen when the layer is not valence
+    connected; the exception records the layer's connectivity verdict so
+    callers can confirm the lemma was not violated.
+    """
+
+    def __init__(self, state: GlobalState, layer_connected: bool) -> None:
+        self.state = state
+        self.layer_connected = layer_connected
+        super().__init__(
+            "no bivalent successor; layer valence connected: "
+            f"{layer_connected} (Lemma 4.1 would be violated if True)"
+        )
+
+
+def bivalent_successor(
+    system,
+    analyzer: ValenceAnalyzer,
+    state: GlobalState,
+    check_connectivity: bool = False,
+) -> BivalenceStep:
+    """Pick a bivalent successor of a bivalent *state* (Lemma 4.1).
+
+    Args:
+        system: the layered system.
+        analyzer: valence analyzer over the same system.
+        state: must be bivalent.
+        check_connectivity: also compute the layer's valence connectivity
+            (slower; used by lemma tests and on failure diagnostics).
+
+    Raises:
+        NoBivalentSuccessor: when no successor is bivalent — possible only
+            for layers that are not valence connected.
+    """
+    if not analyzer.valence(state).bivalent:
+        raise ValueError("bivalent_successor requires a bivalent state")
+    successors = system.successors(state)
+    connected: Optional[bool] = None
+    if check_connectivity:
+        connected = is_valence_connected(
+            [child for _, child in successors], analyzer
+        )
+    for action, child in successors:
+        if analyzer.valence(child).bivalent:
+            return BivalenceStep(
+                action=action,
+                state=child,
+                layer_size=len({c for _, c in successors}),
+                layer_valence_connected=bool(connected)
+                if connected is not None
+                else True,
+            )
+    if connected is None:
+        connected = is_valence_connected(
+            [child for _, child in successors], analyzer
+        )
+    assert not connected, (
+        "Lemma 4.1 violated: valence-connected layer of a bivalent state "
+        "without a bivalent successor"
+    )
+    raise NoBivalentSuccessor(state, connected)
+
+
+def build_bivalent_execution(
+    system,
+    analyzer: ValenceAnalyzer,
+    start: GlobalState,
+    length: int,
+    check_connectivity: bool = False,
+) -> Execution:
+    """A length-*length* execution all of whose states are bivalent."""
+    if not analyzer.valence(start).bivalent:
+        raise ValueError("start state must be bivalent")
+    execution = Execution((start,))
+    state = start
+    for _ in range(length):
+        step = bivalent_successor(system, analyzer, state, check_connectivity)
+        execution = execution.extend(step.action, step.state)
+        state = step.state
+    return execution
+
+
+def build_bivalent_lasso(
+    system,
+    analyzer: ValenceAnalyzer,
+    start: GlobalState,
+    max_steps: int = 10_000,
+) -> RunWitness:
+    """The infinite forever-bivalent run of Theorem 4.2, as a lasso.
+
+    Repeatedly picks the bivalent successor (deterministically: the first
+    one in the layer's action order) until a state repeats; the cycle
+    between the repetitions presents the infinite bivalent run finitely.
+    With finite-state protocols repetition is guaranteed; ``max_steps`` is
+    a safety net.
+    """
+    if not analyzer.valence(start).bivalent:
+        raise ValueError("start state must be bivalent")
+    seen: dict[GlobalState, int] = {start: 0}
+    states = [start]
+    actions: list[Hashable] = []
+    state = start
+    for _ in range(max_steps):
+        step = bivalent_successor(system, analyzer, state)
+        state = step.state
+        actions.append(step.action)
+        states.append(state)
+        if state in seen:
+            entry = seen[state]
+            prefix = Execution(tuple(states[: entry + 1]), tuple(actions[:entry]))
+            cycle = Execution(tuple(states[entry:]), tuple(actions[entry:]))
+            return RunWitness(prefix, cycle)
+        seen[state] = len(states) - 1
+    raise RuntimeError(
+        f"no state repetition within {max_steps} steps; "
+        "is the protocol finite-state?"
+    )

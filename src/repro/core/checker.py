@@ -1,0 +1,392 @@
+"""Exhaustive consensus checking with constructive counterexamples.
+
+Theorem 4.2 says a protocol in a valence-connected layered model cannot
+satisfy *decision*, *agreement* and *validity* simultaneously.  This
+module is the executable converse: given **any** finite-state protocol
+bound into a layered system, :class:`ConsensusChecker` explores every
+``S``-run and returns one of
+
+* ``SATISFIED`` — all runs decide, agree, and are valid (possible only
+  when the theorem's preconditions fail, e.g. ``S^t`` with a ``t+1``-round
+  protocol — the layer is then *not* valence connected at the decision
+  frontier);
+* an ``AGREEMENT`` violation — a reachable state where two non-failed
+  processes have decided differently, with the schedule that produces it;
+* a ``VALIDITY`` violation — a non-failed process decided a value that is
+  not any process's input in that run, with the schedule;
+* a ``DECISION`` violation — a *fair-by-construction* infinite run (a
+  lasso: finite prefix + repeating cycle) on which some non-failed
+  process never decides;
+* a ``WRITE_ONCE`` violation — a transition changed an already-set
+  decision variable (a malformed protocol; none of the shipped protocols
+  trigger it, but the checker guards the "system for consensus"
+  condition (ii) of Section 3 rather than assuming it).
+
+Every violation carries a replayable witness: the exact sequence of layer
+actions from an initial state.  Replaying it through the layering
+reproduces the violation — tests do exactly that.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.core.run import Execution, RunWitness
+from repro.core.state import GlobalState
+from repro.core.valence import ExplorationLimitExceeded
+
+
+class Verdict(Enum):
+    """Outcome categories for a consensus check."""
+
+    SATISFIED = "satisfied"
+    AGREEMENT = "agreement-violation"
+    VALIDITY = "validity-violation"
+    DECISION = "decision-violation"
+    WRITE_ONCE = "write-once-violation"
+
+
+@dataclass(frozen=True)
+class ConsensusReport:
+    """The result of checking one protocol in one layered system.
+
+    Attributes:
+        verdict: the outcome category.
+        inputs: the input assignment of the violating run (None when
+            satisfied).
+        execution: for safety violations, the layer-action path from the
+            initial state to the violating state; for decision violations,
+            the lasso prefix.  None when satisfied.
+        cycle: for decision violations, the repeating cycle of the lasso.
+        detail: human-readable description of what was observed.
+        states_explored: total distinct states visited.
+    """
+
+    verdict: Verdict
+    inputs: Optional[tuple]
+    execution: Optional[Execution]
+    cycle: Optional[Execution]
+    detail: str
+    states_explored: int
+
+    @property
+    def satisfied(self) -> bool:
+        return self.verdict is Verdict.SATISFIED
+
+    def run_witness(self) -> RunWitness:
+        """The infinite-run witness of a decision violation."""
+        if self.verdict is not Verdict.DECISION:
+            raise ValueError("only decision violations carry a run witness")
+        assert self.execution is not None and self.cycle is not None
+        return RunWitness(self.execution, self.cycle)
+
+
+class ConsensusChecker:
+    """Exhaustively check the three consensus requirements.
+
+    Args:
+        system: a :class:`SuccessorSystem` (layering or model).
+        max_states: exploration budget per input assignment.
+    """
+
+    def __init__(self, system, max_states: int = 2_000_000) -> None:
+        self._system = system
+        self._max_states = max_states
+
+    def check(
+        self,
+        initial_state: GlobalState,
+        inputs: Sequence[Hashable],
+    ) -> ConsensusReport:
+        """Check all runs from one initial state (one input assignment)."""
+        system = self._system
+        input_values = frozenset(inputs)
+        parent: dict[GlobalState, Optional[tuple]] = {initial_state: None}
+        queue: deque[GlobalState] = deque([initial_state])
+        terminal: set[GlobalState] = set()
+        edges: dict[GlobalState, list[tuple[Hashable, GlobalState]]] = {}
+
+        problem = self._state_problem(initial_state, input_values)
+        if problem is not None:
+            return self._safety_report(
+                problem[0], initial_state, parent, tuple(inputs), problem[1], 1
+            )
+
+        while queue:
+            state = queue.popleft()
+            if self._all_nonfailed_decided(state):
+                terminal.add(state)
+                continue
+            succs = system.successors(state)
+            edges[state] = succs
+            for action, child in succs:
+                fresh = child not in parent
+                if fresh:
+                    parent[child] = (state, action)
+                    if len(parent) > self._max_states:
+                        raise ExplorationLimitExceeded(
+                            f"more than {self._max_states} states from "
+                            f"inputs {tuple(inputs)!r}"
+                        )
+                write_once = self._write_once_problem(state, child)
+                if write_once is not None:
+                    if fresh:
+                        queue.append(child)
+                    return self._safety_report(
+                        Verdict.WRITE_ONCE,
+                        child,
+                        parent,
+                        tuple(inputs),
+                        write_once,
+                        len(parent),
+                    )
+                problem = self._state_problem(child, input_values)
+                if problem is not None:
+                    return self._safety_report(
+                        problem[0],
+                        child,
+                        parent,
+                        tuple(inputs),
+                        problem[1],
+                        len(parent),
+                    )
+                if fresh:
+                    queue.append(child)
+
+        lasso = self._find_undecided_lasso(initial_state, edges, terminal)
+        if lasso is not None:
+            prefix, cycle = lasso
+            return ConsensusReport(
+                verdict=Verdict.DECISION,
+                inputs=tuple(inputs),
+                execution=prefix,
+                cycle=cycle,
+                detail=(
+                    "fair infinite run on which some non-failed process "
+                    "never decides"
+                ),
+                states_explored=len(parent),
+            )
+        return ConsensusReport(
+            verdict=Verdict.SATISFIED,
+            inputs=None,
+            execution=None,
+            cycle=None,
+            detail="all runs decide, agree and are valid",
+            states_explored=len(parent),
+        )
+
+    def check_all(
+        self, model, value_domain: Sequence[Hashable] = (0, 1)
+    ) -> ConsensusReport:
+        """Check every input assignment; return the first violation found,
+        or an aggregate SATISFIED report."""
+        from itertools import product
+
+        total = 0
+        for assignment in product(value_domain, repeat=model.n):
+            report = self.check(model.initial_state(assignment), assignment)
+            total += report.states_explored
+            if not report.satisfied:
+                return report
+        return ConsensusReport(
+            verdict=Verdict.SATISFIED,
+            inputs=None,
+            execution=None,
+            cycle=None,
+            detail=(
+                f"all {len(value_domain) ** model.n} input assignments "
+                "decide, agree and are valid"
+            ),
+            states_explored=total,
+        )
+
+    # -- internals ----------------------------------------------------------
+    def _nonfailed_decisions(self, state: GlobalState) -> dict[int, Hashable]:
+        failed = self._system.failed_at(state)
+        return {
+            i: v
+            for i, v in self._system.decisions(state).items()
+            if i not in failed
+        }
+
+    def _all_nonfailed_decided(self, state: GlobalState) -> bool:
+        failed = self._system.failed_at(state)
+        decided = self._system.decisions(state)
+        return all(i in decided for i in range(state.n) if i not in failed)
+
+    def _state_problem(
+        self, state: GlobalState, input_values: frozenset
+    ) -> Optional[tuple[Verdict, str]]:
+        decisions = self._nonfailed_decisions(state)
+        distinct = set(decisions.values())
+        if len(distinct) > 1:
+            return (
+                Verdict.AGREEMENT,
+                f"non-failed processes decided differently: {decisions!r}",
+            )
+        for i, v in decisions.items():
+            if v not in input_values:
+                return (
+                    Verdict.VALIDITY,
+                    f"process {i} decided {v!r}, not an input of this run",
+                )
+        return None
+
+    def _write_once_problem(
+        self, state: GlobalState, child: GlobalState
+    ) -> Optional[str]:
+        before = self._system.decisions(state)
+        after = self._system.decisions(child)
+        for i, v in before.items():
+            if after.get(i) != v:
+                return (
+                    f"process {i}'s decision changed from {v!r} to "
+                    f"{after.get(i)!r}"
+                )
+        return None
+
+    def _safety_report(
+        self,
+        verdict: Verdict,
+        state: GlobalState,
+        parent: dict,
+        inputs: tuple,
+        detail: str,
+        explored: int,
+    ) -> ConsensusReport:
+        return ConsensusReport(
+            verdict=verdict,
+            inputs=inputs,
+            execution=_path_to(state, parent),
+            cycle=None,
+            detail=detail,
+            states_explored=explored,
+        )
+
+    def _find_undecided_lasso(
+        self,
+        initial_state: GlobalState,
+        edges: dict[GlobalState, list[tuple[Hashable, GlobalState]]],
+        terminal: set[GlobalState],
+    ) -> Optional[tuple[Execution, Execution]]:
+        """A fair infinite run starving a nonfaulty process, as a lasso.
+
+        For each process ``i`` we restrict the explored graph to the edges
+        along which ``i`` stays nonfaulty (``nonfaulty_under`` on the
+        action, non-failed at the endpoint) between states where ``i`` is
+        undecided, and look for any cycle.  A cycle there, looped forever,
+        is a run in which ``i`` is nonfaulty and never decides — a genuine
+        violation of the decision requirement.  Decisions are write-once,
+        so restricting to ``i``-undecided states loses nothing; and the
+        per-process decomposition is complete: any violating run starves
+        some specific nonfaulty process.  The prefix from the initial
+        state to the cycle may use arbitrary edges.
+        """
+        system = self._system
+        n = initial_state.n
+        for i in range(n):
+            restricted: dict[GlobalState, list[tuple[Hashable, GlobalState]]] = {}
+            for state, succs in edges.items():
+                if i in system.decisions(state) or i in system.failed_at(state):
+                    continue
+                kept = [
+                    (action, child)
+                    for action, child in succs
+                    if child not in terminal
+                    and i in system.nonfaulty_under(action)
+                    and i not in system.failed_at(child)
+                    and i not in system.decisions(child)
+                ]
+                if kept:
+                    restricted[state] = kept
+            cycle = _find_cycle(restricted)
+            if cycle is not None:
+                prefix = self._prefix_to(initial_state, cycle.initial, edges)
+                if prefix is not None:
+                    return prefix, cycle
+        return None
+
+    def _prefix_to(
+        self,
+        initial_state: GlobalState,
+        target: GlobalState,
+        edges: dict[GlobalState, list[tuple[Hashable, GlobalState]]],
+    ) -> Optional[Execution]:
+        """BFS a path from the initial state to *target* in the full graph."""
+        if initial_state == target:
+            return Execution((initial_state,), ())
+        parent: dict[GlobalState, tuple] = {initial_state: None}
+        queue: deque[GlobalState] = deque([initial_state])
+        while queue:
+            state = queue.popleft()
+            for action, child in edges.get(state, ()):
+                if child in parent:
+                    continue
+                parent[child] = (state, action)
+                if child == target:
+                    return _path_to(child, parent)
+                queue.append(child)
+        return None
+
+
+def _path_to(state: GlobalState, parent: dict) -> Execution:
+    """Reconstruct the action path from the BFS parent pointers."""
+    states = [state]
+    actions: list[Hashable] = []
+    while parent[states[-1]] is not None:
+        prev, action = parent[states[-1]]
+        states.append(prev)
+        actions.append(action)
+    states.reverse()
+    actions.reverse()
+    return Execution(tuple(states), tuple(actions))
+
+
+def _find_cycle(
+    edges: dict[GlobalState, list[tuple[Hashable, GlobalState]]],
+) -> Optional[Execution]:
+    """Any cycle in an explicit edge-labelled graph, as an Execution
+    starting and ending at the same state; None if the graph is acyclic."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: dict[GlobalState, int] = {}
+    for root in edges:
+        if color.get(root, WHITE) != WHITE:
+            continue
+        # DFS path as parallel stacks of states and incoming actions.
+        stack: list[tuple[GlobalState, int]] = [(root, 0)]
+        path: list[GlobalState] = [root]
+        path_actions: list[Hashable] = []
+        color[root] = GRAY
+        while stack:
+            state, idx = stack.pop()
+            succs = edges.get(state, [])
+            advanced = False
+            for k in range(idx, len(succs)):
+                action, child = succs[k]
+                if child not in edges:
+                    continue  # child has no outgoing restricted edges
+                child_color = color.get(child, WHITE)
+                if child_color == GRAY:
+                    entry = path.index(child)
+                    cycle_states = tuple(path[entry:]) + (child,)
+                    cycle_actions = tuple(path_actions[entry:]) + (action,)
+                    return Execution(cycle_states, cycle_actions)
+                if child_color == WHITE:
+                    stack.append((state, k + 1))
+                    stack.append((child, 0))
+                    color[child] = GRAY
+                    path.append(child)
+                    path_actions.append(action)
+                    advanced = True
+                    break
+            if not advanced:
+                color[state] = BLACK
+                path.pop()
+                if path_actions:
+                    path_actions.pop()
+    return None

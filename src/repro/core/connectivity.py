@@ -1,0 +1,179 @@
+"""Valence connectivity and the connectivity lemmas (Section 3).
+
+This module turns Lemmas 3.3–3.6 into executable, witness-producing
+functions over explicit sets of states:
+
+* ``~v`` (shared valence) and the valence graph ``(X, ~v)``;
+* Lemma 3.4 — a valence-connected set containing differently-univalent
+  states contains a bivalent one (returned constructively);
+* Lemma 3.5 — similarity connectivity + crash display ⇒ valence
+  connectivity (checked by comparing the two graphs edgewise: every
+  similarity edge must be a valence edge, which is Lemma 3.3);
+* Lemma 3.6 — the ``Con_0`` analysis: the explicit hypercube chain
+  ``x = x^0, x^1, ..., x^n = y`` between any two initial states, and the
+  existence of a bivalent initial state.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Optional
+
+from repro.core.state import GlobalState
+from repro.core.similarity import similar, similarity_graph
+from repro.core.valence import ValenceAnalyzer
+from repro.util.graphs import Graph, is_connected
+
+
+def shared_valence(
+    x: GlobalState, y: GlobalState, analyzer: ValenceAnalyzer
+) -> bool:
+    """Definition 3.1's ``x ~v y``: some ``w`` both states are valent for."""
+    return analyzer.valence(x).shares_valence_with(analyzer.valence(y))
+
+
+def valence_graph(
+    states: Iterable[GlobalState], analyzer: ValenceAnalyzer
+) -> Graph:
+    """The graph ``(X, ~v)`` over an explicit set of states."""
+    states = list(dict.fromkeys(states))
+    graph = Graph(vertices=states)
+    for a in range(len(states)):
+        for b in range(a + 1, len(states)):
+            if shared_valence(states[a], states[b], analyzer):
+                graph.add_edge(states[a], states[b])
+    return graph
+
+
+def is_valence_connected(
+    states: Iterable[GlobalState], analyzer: ValenceAnalyzer
+) -> bool:
+    """Whether ``(X, ~v)`` is connected.
+
+    Per the paper's observation: a set is valence connected exactly if
+    either all its states are ``v``-univalent for one common ``v``, or it
+    contains at least one bivalent state (a bivalent state shares a
+    valence with every state).
+    """
+    return is_connected(valence_graph(states, analyzer))
+
+
+def find_bivalent(
+    states: Iterable[GlobalState], analyzer: ValenceAnalyzer
+) -> Optional[GlobalState]:
+    """A bivalent state of the set, or None."""
+    for state in states:
+        if analyzer.valence(state).bivalent:
+            return state
+    return None
+
+
+def lemma_3_4(
+    states: Sequence[GlobalState], analyzer: ValenceAnalyzer
+) -> Optional[GlobalState]:
+    """Lemma 3.4, constructively.
+
+    If the set is valence connected and contains both 0-valent and
+    1-valent states (more generally: states valent for two different
+    values), return a bivalent member.  Returns None when the
+    preconditions do not hold.
+    """
+    states = list(states)
+    if not is_valence_connected(states, analyzer):
+        return None
+    seen_values = set()
+    for state in states:
+        seen_values |= analyzer.valence(state).values
+    if len(seen_values) < 2:
+        return None
+    bivalent = find_bivalent(states, analyzer)
+    assert bivalent is not None, (
+        "Lemma 3.4 violated: valence-connected set with two reachable "
+        "values but no bivalent state — the valence analysis is broken"
+    )
+    return bivalent
+
+
+def lemma_3_3_edges(
+    states: Sequence[GlobalState], system, analyzer: ValenceAnalyzer
+) -> list[tuple[GlobalState, GlobalState]]:
+    """Lemma 3.3 checked edgewise: every similarity edge must be a valence
+    edge (assuming crash display over the set).
+
+    Returns the list of violating edges — empty when the lemma holds on
+    this set, which is what the tests assert for every layer of every
+    model.
+    """
+    states = list(dict.fromkeys(states))
+    violations = []
+    for a in range(len(states)):
+        for b in range(a + 1, len(states)):
+            x, y = states[a], states[b]
+            if similar(x, y, system) and not shared_valence(x, y, analyzer):
+                violations.append((x, y))
+    return violations
+
+
+def lemma_3_5(
+    states: Sequence[GlobalState], system, analyzer: ValenceAnalyzer
+) -> bool:
+    """Lemma 3.5: similarity connected (+ crash display) ⇒ valence connected.
+
+    Checked directly: if the similarity graph is connected and Lemma 3.3
+    holds edgewise, the valence graph contains a connected spanning
+    subgraph.  Returns the final verdict on the valence graph.
+    """
+    states = list(dict.fromkeys(states))
+    sim_graph = similarity_graph(states, system)
+    if not is_connected(sim_graph):
+        raise ValueError("Lemma 3.5 precondition: set is not similarity connected")
+    if lemma_3_3_edges(states, system, analyzer):
+        return False
+    return is_valence_connected(states, analyzer)
+
+
+def con0_chain(x: GlobalState, y: GlobalState) -> list[GlobalState]:
+    """Lemma 3.6's explicit chain between two initial states.
+
+    ``x^l`` takes the environment and the first ``l`` process locals from
+    ``x`` and the rest from ``y`` (initial states share the environment by
+    the definition of ``Con_0``); consecutive chain states agree modulo
+    process ``l``.
+    """
+    if x.env != y.env:
+        raise ValueError("Con_0 states share the environment's local state")
+    if x.n != y.n:
+        raise ValueError("states have different numbers of processes")
+    chain = []
+    for boundary in range(x.n, -1, -1):
+        # First ``boundary`` locals from x, the rest from y: walking
+        # boundary from n down to 0 goes x = chain[0], ..., chain[n] = y,
+        # and chain[l] agrees with chain[l+1] modulo the flipped process.
+        locals_ = tuple(
+            x.locals[i] if i < boundary else y.locals[i] for i in range(x.n)
+        )
+        chain.append(GlobalState(x.env, locals_))
+    return chain
+
+
+def lemma_3_6(
+    initial_states: Sequence[GlobalState],
+    system,
+    analyzer: ValenceAnalyzer,
+) -> GlobalState:
+    """Lemma 3.6, constructively: return a bivalent initial state.
+
+    Asserts along the way that ``Con_0`` is similarity connected and
+    valence connected.  Raises ``AssertionError`` with a diagnostic if the
+    protocol under analysis fails validity so badly that only one value is
+    ever decided (then no bivalent initial state need exist).
+    """
+    states = list(initial_states)
+    sim_graph = similarity_graph(states, system)
+    assert is_connected(sim_graph), "Con_0 must be similarity connected"
+    bivalent = lemma_3_4(states, analyzer)
+    assert bivalent is not None, (
+        "no bivalent initial state: the protocol decides a single value "
+        "on every input (validity must be failing)"
+    )
+    return bivalent

@@ -1,0 +1,110 @@
+"""Reachability exploration and state-space statistics.
+
+Support machinery for the experiment drivers and benchmarks: breadth-first
+enumeration of the states reachable under a successor system, per-depth
+frontier sizes, and layer-size statistics.  These are the numbers the
+ablation experiments (E9) report — how big the submodels defined by each
+layering actually are, and how much sharing the canonical hashable state
+representation buys.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.core.state import GlobalState
+from repro.core.valence import ExplorationLimitExceeded
+
+
+@dataclass
+class ExplorationStats:
+    """Statistics from a bounded reachability exploration."""
+
+    states: int = 0
+    edges: int = 0
+    depth_reached: int = 0
+    frontier_sizes: list[int] = field(default_factory=list)
+    duplicate_hits: int = 0
+    min_layer_size: int = 0
+    max_layer_size: int = 0
+
+    @property
+    def sharing_ratio(self) -> float:
+        """Fraction of generated successors that were already known —
+        how much the DAG structure collapses the naive schedule tree."""
+        if self.edges == 0:
+            return 0.0
+        return self.duplicate_hits / self.edges
+
+
+def reachable_states(
+    system,
+    roots: Iterable[GlobalState],
+    max_depth: int | None = None,
+    max_states: int = 2_000_000,
+) -> dict[GlobalState, int]:
+    """BFS the reachable set; returns ``{state: first-reached depth}``."""
+    depth: dict[GlobalState, int] = {}
+    queue: deque[GlobalState] = deque()
+    for root in roots:
+        if root not in depth:
+            depth[root] = 0
+            queue.append(root)
+    while queue:
+        state = queue.popleft()
+        if max_depth is not None and depth[state] >= max_depth:
+            continue
+        for _, child in system.successors(state):
+            if child not in depth:
+                depth[child] = depth[state] + 1
+                if len(depth) > max_states:
+                    raise ExplorationLimitExceeded(
+                        f"more than {max_states} reachable states"
+                    )
+                queue.append(child)
+    return depth
+
+
+def explore(
+    system,
+    roots: Iterable[GlobalState],
+    max_depth: int | None = None,
+    max_states: int = 2_000_000,
+) -> ExplorationStats:
+    """BFS with full statistics (see :class:`ExplorationStats`)."""
+    stats = ExplorationStats()
+    depth: dict[GlobalState, int] = {}
+    queue: deque[GlobalState] = deque()
+    for root in roots:
+        if root not in depth:
+            depth[root] = 0
+            queue.append(root)
+    per_depth: dict[int, int] = {0: len(depth)}
+    layer_sizes: list[int] = []
+    while queue:
+        state = queue.popleft()
+        if max_depth is not None and depth[state] >= max_depth:
+            continue
+        children = {child for _, child in system.successors(state)}
+        layer_sizes.append(len(children))
+        for child in children:
+            stats.edges += 1
+            if child in depth:
+                stats.duplicate_hits += 1
+                continue
+            depth[child] = depth[state] + 1
+            per_depth[depth[child]] = per_depth.get(depth[child], 0) + 1
+            if len(depth) > max_states:
+                raise ExplorationLimitExceeded(
+                    f"more than {max_states} reachable states"
+                )
+            queue.append(child)
+    stats.states = len(depth)
+    stats.depth_reached = max(per_depth) if per_depth else 0
+    stats.frontier_sizes = [per_depth[d] for d in sorted(per_depth)]
+    if layer_sizes:
+        stats.min_layer_size = min(layer_sizes)
+        stats.max_layer_size = max(layer_sizes)
+    return stats

@@ -1,0 +1,229 @@
+"""Failure semantics: fault independence and crash display (Section 2).
+
+The paper deliberately avoids committing to one failure type; it only
+needs two abstract properties of a system-with-failures:
+
+* **Fault Independence** — from every state ``x`` there is a run in which
+  the only faulty processes are the ones already failed at ``x``;
+* **displays an arbitrary crash failure w.r.t. X** — whenever two states
+  of ``X`` agree modulo ``j``, there are runs extending them that agree
+  modulo ``j`` *forever*, keeping every process other than ``j`` that is
+  non-failed in both states nonfaulty.
+
+Both are properties of infinite runs; this module checks them
+constructively on bounded horizons: per model it builds the canonical
+continuations the definitions call for —
+
+* a *failure-free continuation* (no process newly fails; everyone who can
+  take steps does, fairly), witnessing fault independence, and
+* a *crash-j continuation* (``j`` is silenced/unscheduled from now on; no
+  other failures), witnessing the crash display.
+
+The crash-display check then verifies, step by synchronized step, that
+the two continuations started at agreeing-modulo-``j`` states keep
+agreeing modulo ``j``.  Because the continuations are deterministic given
+the model and ``j``, a bounded prefix check plus the models' memoryless
+transition structure is exactly the inductive step of the paper's "crash
+``j`` in both" argument.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from itertools import islice
+
+from repro.core.state import GlobalState
+from repro.models.async_mp import (
+    AsyncMessagePassingModel,
+    flush_action,
+    recv_action,
+    stage_action,
+)
+from repro.models.base import Model
+from repro.models.mobile import MobileModel, omit_action
+from repro.models.shared_memory import SharedMemoryModel, step_action
+from repro.models.snapshot import (
+    SnapshotMemoryModel,
+    scan_action,
+    update_action,
+)
+from repro.models.sync import NO_FAILURE, SynchronousModel
+
+
+def crash_continuation(model: Model, j: int) -> Iterator:
+    """An infinite iterator of primitive actions crashing/silencing *j*.
+
+    In the message-loss models ``j`` is silenced (its messages are dropped
+    forever); in the scheduling models ``j`` simply never takes another
+    step.  No process other than ``j`` ever fails.  The iterator is
+    stateless — the action sequence does not depend on the run — except
+    for the synchronous model's first action, which must newly fail ``j``
+    only if it is not failed already; callers use
+    :func:`apply_continuation` which handles that via the model state.
+    """
+    n = model.n
+    others = [i for i in range(n) if i != j]
+    if isinstance(model, MobileModel):
+        silence = omit_action(j, others)
+        while True:
+            yield silence
+    elif isinstance(model, SynchronousModel):
+        # The first action fails j (apply_continuation will substitute a
+        # failure-free round if j is already failed); afterwards j stays
+        # silenced automatically.
+        yield frozenset({(j, frozenset(others))})
+        while True:
+            yield NO_FAILURE
+    elif isinstance(model, SharedMemoryModel):
+        while True:
+            for i in others:
+                for _ in range(n + 1):  # one write + n reads = a phase
+                    yield step_action(i)
+    elif isinstance(model, AsyncMessagePassingModel):
+        while True:
+            for i in others:
+                yield stage_action(i)
+                yield recv_action(i)
+                yield flush_action(i)
+    elif isinstance(model, SnapshotMemoryModel):
+        while True:
+            for i in others:
+                yield update_action(i)
+                yield scan_action(i)
+    else:  # pragma: no cover - extension point
+        raise TypeError(f"no crash continuation known for {type(model).__name__}")
+
+
+def failure_free_continuation(model: Model) -> Iterator:
+    """An infinite fair action sequence with no *new* failures.
+
+    This is the run ``r^x`` of the Fault Independence property: started at
+    any state ``x``, the only faulty processes are those already failed at
+    ``x`` (synchronous model) or nobody (the no-finite-failure models).
+    """
+    n = model.n
+    if isinstance(model, MobileModel):
+        noop = omit_action(0, ())
+        while True:
+            yield noop
+    elif isinstance(model, SynchronousModel):
+        while True:
+            yield NO_FAILURE
+    elif isinstance(model, SharedMemoryModel):
+        while True:
+            for i in range(n):
+                for _ in range(n + 1):
+                    yield step_action(i)
+    elif isinstance(model, AsyncMessagePassingModel):
+        while True:
+            for i in range(n):
+                yield stage_action(i)
+                yield recv_action(i)
+                yield flush_action(i)
+    elif isinstance(model, SnapshotMemoryModel):
+        while True:
+            for i in range(n):
+                yield update_action(i)
+                yield scan_action(i)
+    else:  # pragma: no cover - extension point
+        raise TypeError(
+            f"no failure-free continuation known for {type(model).__name__}"
+        )
+
+
+def apply_continuation(
+    model: Model, state: GlobalState, actions: Iterator, steps: int
+) -> list[GlobalState]:
+    """Apply *steps* actions from the iterator, returning all states visited.
+
+    For the synchronous model, actions that would re-fail an already
+    failed process or exceed the budget are replaced by the failure-free
+    round (the crash continuation's first action is the only such case).
+    """
+    trace = [state]
+    for action in islice(actions, steps):
+        if isinstance(model, SynchronousModel) and action is not NO_FAILURE:
+            failed = model.failed_at(state)
+            newly = {j for j, _ in action}
+            if newly & failed or len(failed | newly) > model.t:
+                action = NO_FAILURE
+        state = model.apply(state, action)
+        trace.append(state)
+    return trace
+
+
+def check_crash_display(
+    system,
+    x: GlobalState,
+    y: GlobalState,
+    j: int,
+    steps: int = 24,
+) -> bool:
+    """Bounded check of the crash-display property for one pair.
+
+    Given states agreeing modulo *j* (with the model's refined environment
+    agreement), silences/unschedules *j* in both and verifies the traces
+    agree modulo *j* at every step and that no process other than *j*
+    newly fails.  ``steps`` bounds the synchronized prefix inspected;
+    since the continuations are deterministic and the models memoryless,
+    agreement over a prefix longer than any protocol's active horizon is
+    the full inductive argument in executable form.
+    """
+    model = getattr(system, "model", system)
+    if not (
+        agree_modulo_refined(model, x, y, j)
+    ):
+        raise ValueError("states do not agree modulo j")
+    trace_x = apply_continuation(model, x, crash_continuation(model, j), steps)
+    trace_y = apply_continuation(model, y, crash_continuation(model, j), steps)
+    allowed_failed = (model.failed_at(x) | model.failed_at(y) | {j})
+    for state_x, state_y in zip(trace_x, trace_y):
+        if not agree_modulo_refined(model, state_x, state_y, j):
+            return False
+        if (model.failed_at(state_x) | model.failed_at(state_y)) - allowed_failed:
+            return False
+    return True
+
+
+def agree_modulo_refined(
+    model: Model, x: GlobalState, y: GlobalState, j: int
+) -> bool:
+    """Agreement modulo *j* with the model's environment refinement."""
+    if x.n != y.n:
+        return False
+    if not model.envs_agree_modulo(x.env, y.env, j):
+        return False
+    return all(x.locals[i] == y.locals[i] for i in range(x.n) if i != j)
+
+
+def check_fault_independence(
+    system, state: GlobalState, steps: int = 24
+) -> bool:
+    """Bounded check of Fault Independence at one state.
+
+    Runs the failure-free continuation and verifies the failed set never
+    grows — i.e. there is a run through *state* whose only faulty
+    processes are those already failed at *state*.
+    """
+    model = getattr(system, "model", system)
+    trace = apply_continuation(
+        model, state, failure_free_continuation(model), steps
+    )
+    baseline = model.failed_at(state)
+    return all(model.failed_at(s) <= baseline for s in trace)
+
+
+def displays_no_finite_failure(system, states) -> bool:
+    """Whether no process is failed at any of the given states (Section 3)."""
+    return all(not system.failed_at(s) for s in states)
+
+
+__all__ = [
+    "agree_modulo_refined",
+    "apply_continuation",
+    "check_crash_display",
+    "check_fault_independence",
+    "crash_continuation",
+    "displays_no_finite_failure",
+    "failure_free_continuation",
+]

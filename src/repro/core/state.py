@@ -1,0 +1,113 @@
+"""Global states (Section 2 of the paper).
+
+A *global state* consists of a local state for each of the ``n`` processes
+plus a local state for the *environment* ``e``, which captures everything
+else relevant to the system: messages in transit, shared registers, the set
+of processes recorded as failed, and so on.
+
+Process identifiers are ``0 .. n-1`` (the paper uses ``1 .. n``; we use the
+Pythonic 0-based convention uniformly, including in environment actions).
+
+States are immutable and hashable so they can serve as vertices in the
+similarity and valence graphs and as memoization keys for the valence
+analyzer.  Local states and environment states must themselves be hashable;
+all model substrates in this library use tuples and frozensets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class GlobalState:
+    """An element of ``G = L_e x L_1 x ... x L_n``.
+
+    Attributes:
+        env: the environment's local state ``x_e``.
+        locals: a tuple of process local states, ``locals[i] = x_i``.
+    """
+
+    env: Hashable
+    locals: tuple[Hashable, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.locals, tuple):
+            object.__setattr__(self, "locals", tuple(self.locals))
+
+    @property
+    def n(self) -> int:
+        """Number of processes in the state."""
+        return len(self.locals)
+
+    def local(self, i: int) -> Hashable:
+        """The local state ``x_i`` of process *i*."""
+        return self.locals[i]
+
+    def replace_local(self, i: int, new_local: Hashable) -> "GlobalState":
+        """A copy of this state with process *i*'s local state replaced."""
+        if not 0 <= i < self.n:
+            raise IndexError(f"process {i} out of range 0..{self.n - 1}")
+        updated = self.locals[:i] + (new_local,) + self.locals[i + 1 :]
+        return GlobalState(self.env, updated)
+
+    def replace_locals(
+        self, updates: dict[int, Hashable] | Iterable[tuple[int, Hashable]]
+    ) -> "GlobalState":
+        """A copy with several process local states replaced at once."""
+        items = dict(updates)
+        new_locals = list(self.locals)
+        for i, new_local in items.items():
+            if not 0 <= i < self.n:
+                raise IndexError(f"process {i} out of range 0..{self.n - 1}")
+            new_locals[i] = new_local
+        return GlobalState(self.env, tuple(new_locals))
+
+    def replace_env(self, env: Hashable) -> "GlobalState":
+        """A copy of this state with the environment's state replaced."""
+        return GlobalState(env, self.locals)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GlobalState(env={self.env!r}, locals={self.locals!r})"
+
+
+def agree_modulo(x: GlobalState, y: GlobalState, j: int) -> bool:
+    """True iff *x* and *y* agree modulo process *j* (Section 2).
+
+    Two states agree modulo ``j`` when their environment states are equal
+    and the local states of every process other than ``j`` are equal.  The
+    local state of ``j`` itself may or may not differ.
+    """
+    if x.n != y.n:
+        return False
+    if x.env != y.env:
+        return False
+    return all(x.locals[i] == y.locals[i] for i in range(x.n) if i != j)
+
+
+def differing_processes(x: GlobalState, y: GlobalState) -> frozenset[int]:
+    """The set of processes whose local states differ between *x* and *y*.
+
+    Raises ``ValueError`` if the states have different process counts.
+    The environment is not included; check ``x.env == y.env`` separately.
+    """
+    if x.n != y.n:
+        raise ValueError("states have different numbers of processes")
+    return frozenset(i for i in range(x.n) if x.locals[i] != y.locals[i])
+
+
+def agreement_witnesses(x: GlobalState, y: GlobalState) -> frozenset[int]:
+    """All processes *j* such that *x* and *y* agree modulo *j*.
+
+    Empty when the environments differ or when two or more processes'
+    local states differ.  When ``x == y`` every process is a witness.
+    """
+    if x.n != y.n or x.env != y.env:
+        return frozenset()
+    diff = differing_processes(x, y)
+    if len(diff) == 0:
+        return frozenset(range(x.n))
+    if len(diff) == 1:
+        return diff
+    return frozenset()

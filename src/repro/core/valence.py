@@ -1,0 +1,293 @@
+"""Exact valence computation (Section 3, "Decisions and valence").
+
+A state ``x`` is *v-valent* when some execution extending ``x`` contains a
+nonfaulty process deciding ``v``; *v-univalent* when only ``v``; *bivalent*
+when at least two values are reachable.  Valence quantifies over the
+(infinite) extensions of ``x`` inside a layered system, so computing it
+exactly needs two ingredients this library guarantees:
+
+1. **Finite reachable state spaces** — protocols freeze after boundedly
+   many phases (:mod:`repro.protocols.base`), so the set of states
+   reachable from any state under a successor function is finite.
+2. **Fault independence** (Section 2) — if a process is non-failed at a
+   state and has decided ``v`` there, some run through that state keeps it
+   nonfaulty, so observing a decided non-failed process suffices to
+   certify ``v``-valence.  Conversely a nonfaulty decision in any
+   extension is a non-failed decision at some reachable state.  Hence:
+
+   ``values(x) = own(x) ∪ ⋃ { values(y) : y ∈ S(x) }``
+
+   where ``own(x)`` is the set of values decided by non-failed processes
+   at ``x``.
+
+The analyzer additionally reports **divergence**: whether some infinite
+``S``-extension of ``x`` never reaches a state where all non-failed
+processes have decided.  In a finite state space an infinite run must
+revisit a state, so divergence is exactly reachability of a cycle of
+non-terminal states.  Caveat: "non-failed" here means *not recorded
+failed*; in the no-finite-failure models a looping schedule may be
+starving the undecided process (a scheduling crash), which is no
+violation — divergence is therefore an over-approximation of the
+decision-requirement verdict there, and the precise check (which weighs
+each cycle's actions through the ``nonfaulty_under`` hooks) lives in
+:class:`repro.core.checker.ConsensusChecker`.  Divergence is a
+first-class result here, not an error.
+
+The computation explores the reachable subgraph (stopping at *terminal*
+states — all non-failed decided — and at already-memoized states), runs
+Tarjan's SCC algorithm, and folds values/divergence over the condensation
+in reverse topological order.  The SCC pass is what makes the result exact
+in the presence of cycles: a naive memoized DFS would undercount the
+values reachable from states inside a cycle.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+from repro.core.state import GlobalState
+
+
+class ExplorationLimitExceeded(RuntimeError):
+    """Raised when an analysis would explore more states than its budget.
+
+    Usually means the protocol under analysis does not have a finite
+    reachable state space (see :mod:`repro.protocols.base`), or the model
+    instance is too large for exhaustive analysis.
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class ValenceResult:
+    """The exact valence of a state.
+
+    Attributes:
+        values: every value ``v`` such that the state is ``v``-valent.
+        diverges: whether some infinite extension loops with a process
+            that is undecided and never *recorded* failed.  In the
+            synchronous model (explicit failure records) this is exactly
+            a decision violation.  In the no-finite-failure models it is
+            an over-approximation: the looping schedule may simply be
+            crashing the undecided process by never scheduling it, which
+            violates nothing.  For the precise decision-requirement
+            verdict — which accounts for scheduling-faultiness via the
+            ``nonfaulty_under`` hooks — use
+            :class:`repro.core.checker.ConsensusChecker` or
+            :class:`repro.tasks.covering.OutcomeAnalyzer`; always
+            ``outcome.diverges implies valence.diverges``.
+    """
+
+    values: frozenset
+    diverges: bool
+
+    def is_v_valent(self, v: Hashable) -> bool:
+        """Whether some extension decides *v* (Section 3's v-valence)."""
+        return v in self.values
+
+    @property
+    def bivalent(self) -> bool:
+        """At least two distinct decision values are reachable."""
+        return len(self.values) >= 2
+
+    @property
+    def univalent(self) -> bool:
+        return len(self.values) == 1
+
+    def univalent_value(self) -> Hashable:
+        """The unique reachable decision value of a univalent state."""
+        if not self.univalent:
+            raise ValueError(f"state is not univalent: {self}")
+        return next(iter(self.values))
+
+    def shares_valence_with(self, other: "ValenceResult") -> bool:
+        """Definition 3.1's ``~v``: some value both states are valent for."""
+        return bool(self.values & other.values)
+
+
+class ValenceAnalyzer:
+    """Memoized exact valence over a :class:`SuccessorSystem`.
+
+    The analyzer may be queried repeatedly; previously finalized states
+    act as sinks for later explorations, which is sound because a state's
+    result already accounts for everything reachable from it.
+
+    Args:
+        system: any object with ``successors``, ``failed_at`` and
+            ``decisions`` (a model or a layering).
+        max_states: exploration budget shared across all queries.
+    """
+
+    def __init__(self, system, max_states: int = 2_000_000) -> None:
+        self._system = system
+        self._max_states = max_states
+        self._memo: dict[GlobalState, ValenceResult] = {}
+
+    @property
+    def system(self):
+        return self._system
+
+    @property
+    def explored_states(self) -> int:
+        """Number of states with finalized results so far."""
+        return len(self._memo)
+
+    # -- state-local helpers ------------------------------------------------
+    def own_values(self, state: GlobalState) -> frozenset:
+        """Values decided by processes non-failed at *state*."""
+        failed = self._system.failed_at(state)
+        return frozenset(
+            v
+            for i, v in self._system.decisions(state).items()
+            if i not in failed
+        )
+
+    def is_terminal(self, state: GlobalState) -> bool:
+        """All non-failed processes have decided — exploration stops here.
+
+        Decisions are write-once and the failed set only grows, so beyond
+        a terminal state no new value can be decided by a process that is
+        non-failed anywhere on the extension.
+        """
+        failed = self._system.failed_at(state)
+        decided = self._system.decisions(state)
+        return all(i in decided for i in range(state.n) if i not in failed)
+
+    # -- queries --------------------------------------------------------------
+    def valence(self, state: GlobalState) -> ValenceResult:
+        """The exact :class:`ValenceResult` of *state*."""
+        cached = self._memo.get(state)
+        if cached is not None:
+            return cached
+        self._analyze(state)
+        return self._memo[state]
+
+    def bivalent(self, state: GlobalState) -> bool:
+        """Shorthand: whether *state* is bivalent."""
+        return self.valence(state).bivalent
+
+    # -- the SCC/condensation pass ---------------------------------------------
+    def _analyze(self, root: GlobalState) -> None:
+        succ = self._explore(root)
+        self._tarjan_fold(root, succ)
+
+    def _explore(
+        self, root: GlobalState
+    ) -> dict[GlobalState, tuple[GlobalState, ...]]:
+        """Build the reachable subgraph, stopping at terminal/memoized states."""
+        succ: dict[GlobalState, tuple[GlobalState, ...]] = {}
+        stack = [root]
+        seen = {root}
+        while stack:
+            state = stack.pop()
+            if state in self._memo:
+                continue
+            if self.is_terminal(state):
+                self._memo[state] = ValenceResult(self.own_values(state), False)
+                continue
+            children = []
+            child_seen = set()
+            for _, child in self._system.successors(state):
+                if child not in child_seen:
+                    child_seen.add(child)
+                    children.append(child)
+            if not children:
+                raise AssertionError(
+                    "successor functions are total: a non-terminal state "
+                    "must have successors"
+                )
+            succ[state] = tuple(children)
+            if len(succ) + len(self._memo) > self._max_states:
+                raise ExplorationLimitExceeded(
+                    f"more than {self._max_states} states reachable; "
+                    "is the protocol finite-state?"
+                )
+            for child in children:
+                if child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        return succ
+
+    def _tarjan_fold(
+        self,
+        root: GlobalState,
+        succ: dict[GlobalState, tuple[GlobalState, ...]],
+    ) -> None:
+        """Iterative Tarjan; fold values/divergence over the condensation.
+
+        Tarjan emits each SCC only after every SCC reachable from it, so
+        results for cross-SCC successors are always finalized when an SCC
+        is folded.  All members of an SCC share one result: the union of
+        their own values and of their external successors' values; they
+        diverge iff the SCC is cyclic (size > 1 or a self-loop — an
+        undecided infinite loop) or any external successor diverges.
+        """
+        if root in self._memo:
+            return
+        index: dict[GlobalState, int] = {}
+        lowlink: dict[GlobalState, int] = {}
+        on_stack: set[GlobalState] = set()
+        scc_stack: list[GlobalState] = []
+        counter = 0
+
+        def push(state: GlobalState) -> None:
+            nonlocal counter
+            index[state] = lowlink[state] = counter
+            counter += 1
+            scc_stack.append(state)
+            on_stack.add(state)
+            work.append((state, iter(succ.get(state, ()))))
+
+        work: list[tuple[GlobalState, "object"]] = []
+        push(root)
+        while work:
+            state, children = work[-1]
+            advanced = False
+            for child in children:
+                if child in self._memo:
+                    continue
+                if child not in index:
+                    push(child)
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[state] = min(lowlink[state], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[state])
+            if lowlink[state] == index[state]:
+                component = []
+                while True:
+                    member = scc_stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == state:
+                        break
+                self._fold_component(component, succ)
+
+    def _fold_component(
+        self,
+        component: list[GlobalState],
+        succ: dict[GlobalState, tuple[GlobalState, ...]],
+    ) -> None:
+        members = set(component)
+        values: set = set()
+        # A multi-state SCC is a cycle of non-terminal states; so is a
+        # self-loop.  Either way an infinite extension can stay undecided.
+        diverges = len(component) > 1
+        for state in component:
+            values |= self.own_values(state)
+            for child in succ.get(state, ()):
+                if child in members:
+                    if child == state:
+                        diverges = True
+                    continue
+                child_result = self._memo[child]
+                values |= child_result.values
+                diverges = diverges or child_result.diverges
+        result = ValenceResult(frozenset(values), diverges)
+        for state in component:
+            self._memo[state] = result

@@ -1,0 +1,74 @@
+"""The paper's layering functions (Sections 4–6).
+
+* :class:`S1MobileLayering` — ``S_1`` over ``M^mf`` (Section 5);
+* :class:`StSynchronousLayering` — ``S^t`` over the ``t``-resilient
+  synchronous model (Section 6);
+* :class:`SynchronicRWLayering` — ``S^rw`` over ``M^rw`` (Section 5.1);
+* :class:`SynchronicMPLayering` — the message-passing analogue of
+  ``S^rw``;
+* :class:`PermutationLayering` — ``S^per``, the immediate-snapshot
+  analogue for message passing (Section 5.1);
+* :class:`IteratedSnapshotLayering` — the iterated-immediate-snapshot
+  layering over snapshot memory (the paper's announced full-version
+  extension).
+
+Every layering expands its layer actions into primitive model actions, so
+the monotone-embedding property that makes it a *layering* (Section 4) is
+constructive and testable (:func:`verify_layering_embedding`).
+"""
+
+from repro.layerings.base import Layering, SuccessorSystem, verify_layering_embedding
+from repro.layerings.iterated_snapshot import (
+    IteratedSnapshotLayering,
+    blocks_schedule,
+    short_blocks_schedule,
+    solo_diamond,
+    split_merge_edges,
+)
+from repro.layerings.permutation import (
+    PermutationLayering,
+    diamond,
+    full_schedule,
+    pair_schedule,
+    short_schedule,
+    transposition_edges,
+)
+from repro.layerings.s1_mobile import S1MobileLayering, similarity_chain
+from repro.layerings.st_synchronous import StSynchronousLayering, st_action
+from repro.layerings.synchronic_mp import SynchronicMPLayering, absent_mp, sync_mp
+from repro.layerings.synchronic_rw import (
+    SynchronicRWLayering,
+    absent_diamond,
+    absent_rw,
+    sync_rw,
+    y_chain,
+)
+
+__all__ = [
+    "IteratedSnapshotLayering",
+    "Layering",
+    "PermutationLayering",
+    "S1MobileLayering",
+    "StSynchronousLayering",
+    "SuccessorSystem",
+    "SynchronicMPLayering",
+    "SynchronicRWLayering",
+    "absent_diamond",
+    "absent_mp",
+    "blocks_schedule",
+    "absent_rw",
+    "diamond",
+    "full_schedule",
+    "pair_schedule",
+    "short_blocks_schedule",
+    "short_schedule",
+    "similarity_chain",
+    "solo_diamond",
+    "split_merge_edges",
+    "st_action",
+    "sync_mp",
+    "sync_rw",
+    "transposition_edges",
+    "verify_layering_embedding",
+    "y_chain",
+]

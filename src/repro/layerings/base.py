@@ -1,0 +1,148 @@
+"""The layering framework (Section 4).
+
+A *successor function* ``S : G -> 2^G \\ {∅}`` generates the system ``R_S``
+of ``S``-runs.  ``S`` is a *layering* of a system ``R`` when every
+``S``-run starting at an initial state of ``R`` embeds monotonically into a
+run of ``R`` — i.e. each layer is a legal stretch of the underlying model's
+behaviour.
+
+Here a layering is defined **constructively** over a concrete model: every
+layer action carries its own expansion into a sequence of the model's
+primitive environment actions (:meth:`Layering.expand`).  Applying a layer
+action is folding its expansion through the model, so the monotone
+embedding required by the paper's definition holds *by construction* — and
+:func:`verify_layering_embedding` re-checks it mechanically for tests:
+each primitive in the expansion must be enabled in the model at the point
+it is applied.
+
+Layerings implement the :class:`SuccessorSystem` interface consumed by the
+analyzers in :mod:`repro.core` (valence, connectivity, bivalence): they are
+the submodels on which all of the paper's round-by-round analysis runs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Hashable, Sequence
+from typing import Protocol as TypingProtocol
+
+from repro.core.state import GlobalState
+from repro.models.base import Model
+
+
+class SuccessorSystem(TypingProtocol):
+    """What the core analyzers need from a layered system.
+
+    Both raw models and layerings satisfy this structurally; the analyzers
+    in :mod:`repro.core` accept either.
+    """
+
+    def successors(
+        self, state: GlobalState
+    ) -> list[tuple[Hashable, GlobalState]]:
+        """All ``(action, next_state)`` pairs from *state*."""
+        ...
+
+    def failed_at(self, state: GlobalState) -> frozenset[int]:
+        """Processes failed at *state* (empty in no-finite-failure models)."""
+        ...
+
+    def decisions(self, state: GlobalState) -> dict[int, Hashable]:
+        """The defined decision variables ``{i: d_i}`` at *state*."""
+        ...
+
+
+class Layering(ABC):
+    """A successor function defined by macro-actions over a model."""
+
+    def __init__(self, model: Model) -> None:
+        self._model = model
+
+    @property
+    def model(self) -> Model:
+        return self._model
+
+    @property
+    def n(self) -> int:
+        return self._model.n
+
+    @abstractmethod
+    def layer_actions(self, state: GlobalState) -> Sequence[Hashable]:
+        """The layer actions available at *state* (labels)."""
+
+    @abstractmethod
+    def expand(
+        self, state: GlobalState, action: Hashable
+    ) -> Sequence[Hashable]:
+        """The primitive model actions a layer action expands into.
+
+        The expansion may depend on the state (e.g. which processes have
+        pending writes).  Folding the expansion through
+        :meth:`Model.apply` defines :meth:`apply`.
+        """
+
+    def apply(self, state: GlobalState, action: Hashable) -> GlobalState:
+        """Apply one layer: fold the expansion through the model."""
+        current = state
+        for primitive in self.expand(state, action):
+            current = self._model.apply(current, primitive)
+        return current
+
+    # -- SuccessorSystem ---------------------------------------------------
+    def successors(
+        self, state: GlobalState
+    ) -> list[tuple[Hashable, GlobalState]]:
+        """All ``(layer_action, next_state)`` pairs from *state*."""
+        return [
+            (action, self.apply(state, action))
+            for action in self.layer_actions(state)
+        ]
+
+    def failed_at(self, state: GlobalState) -> frozenset[int]:
+        """Delegates to the underlying model's failure bookkeeping."""
+        return self._model.failed_at(state)
+
+    def decisions(self, state: GlobalState) -> dict[int, Hashable]:
+        """Delegates to the underlying model's decision extraction."""
+        return self._model.decisions(state)
+
+    def nonfaulty_under(self, action: Hashable) -> frozenset[int]:
+        """Processes certainly nonfaulty in a run repeating *action* forever.
+
+        Used by the decision-violation (lasso) check: a starved process on
+        an infinite cycle only witnesses a violation of the *decision*
+        requirement if it is nonfaulty in that run — e.g. the skipped
+        process of a ``short`` permutation schedule is crashed, so *its*
+        non-decision proves nothing, while the scheduled processes' does.
+        Layerings override this per action kind; the default claims every
+        process (correct for layers in which everybody takes full steps).
+        """
+        return frozenset(range(self.n))
+
+
+def verify_layering_embedding(
+    layering: Layering, state: GlobalState, action: Hashable
+) -> list[GlobalState]:
+    """Check one layer's expansion is a legal model execution.
+
+    Returns the intermediate model states (including both endpoints).
+    Raises ``AssertionError`` if any primitive of the expansion is not
+    enabled in the model where it is applied, or if the folded endpoint
+    differs from :meth:`Layering.apply` — i.e. if the monotone-embedding
+    property of Section 4 fails.
+    """
+    model = layering.model
+    trace = [state]
+    current = state
+    for primitive in layering.expand(state, action):
+        enabled = list(model.actions(current))
+        assert primitive in enabled, (
+            f"layer action {action!r}: primitive {primitive!r} not enabled "
+            f"at an intermediate state"
+        )
+        current = model.apply(current, primitive)
+        trace.append(current)
+    assert current == layering.apply(state, action), (
+        f"layer action {action!r}: folded endpoint disagrees with apply()"
+    )
+    return trace

@@ -1,0 +1,236 @@
+"""The asynchronous message-passing model (Section 5.1).
+
+Messages in transit live in the environment's local state as per-channel
+FIFO queues.  A *local phase* of process ``i`` — the unit both asynchronous
+layerings schedule — consists of three primitive operations:
+
+* ``("stage", i)`` — ``i`` computes, per its protocol, the messages of
+  this phase (at most one per destination) **from its phase-start local
+  state** and parks them in its outbox;
+* ``("recv", i)`` — *all* outstanding messages addressed to ``i`` are
+  delivered at once and ``i``'s protocol transition fires (an empty
+  delivery is a legal step);
+* ``("flush", i)`` — the outbox contents enter the in-transit bag.
+
+Why three primitives and why phase-start message content: the permutation
+layering's *concurrent pair* — "first both of them receive their incoming
+messages, and each of them sends his messages only after the other has
+received its current phase messages" — requires the two processes' sends
+to be unaffected by their current-phase deliveries and invisible to each
+other's current-phase receives.  This mirrors immediate snapshots exactly
+(a write's value is fixed before the snapshot it precedes), and it is the
+semantics under which the paper's similarity claims
+``x[..p_k, p_{k+1}..] ~s x[..{p_k, p_{k+1}}..] ~s x[..p_{k+1}, p_k..]``
+are theorems: under "sends may depend on the same phase's delivery" the
+pair schedule would perturb *every* later process's state, not just one.
+A sequential phase is ``stage(i), recv(i), flush(i)``; the concurrent pair
+is ``stage(p), stage(q), recv(p), recv(q), flush(p), flush(q)``.
+
+Similarity refinement (see DESIGN.md): when two global states are compared
+"modulo j" (Definition 3.1), in-transit messages *addressed to* ``j`` are
+accounted to ``j`` rather than to the environment —
+:meth:`AsyncMessagePassingModel.envs_agree_modulo` compares the bags with
+``j``'s incoming channels removed.  This is sound for the crash-display
+argument of Lemma 3.3: once ``j`` is crashed in both runs, its incoming
+channels are never consumed and can never influence any other process.
+Without the refinement the pair-schedule similarity claims fail on the
+nose (the swapped message sits undelivered in one state's bag), which the
+extended abstract does not spell out.
+
+Crashes are scheduling phenomena (a process simply stops being scheduled),
+so the model displays no finite failure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+from repro.core.state import GlobalState
+from repro.models.base import Model
+from repro.protocols.base import MessageBatch, MessagePassingProtocol
+
+NO_OUTBOX = None
+"""Outbox marker: nothing staged (the process is between phases)."""
+
+
+def mp_env(bag: tuple) -> tuple:
+    """The environment state: the canonicalised in-transit message bag.
+
+    ``bag`` is a sorted tuple of ``((sender, dest), payloads)`` entries
+    where ``payloads`` is the FIFO tuple of undelivered messages on that
+    channel.  Channels with no pending messages are omitted, keeping the
+    representation canonical (equal bags compare equal).
+    """
+    return ("mp", tuple(bag))
+
+
+def stage_action(i: int) -> tuple:
+    """Process *i* computes and parks its phase's messages (no sending)."""
+    return ("stage", i)
+
+
+def recv_action(i: int) -> tuple:
+    """All outstanding messages to *i* are delivered; its transition fires."""
+    return ("recv", i)
+
+
+def flush_action(i: int) -> tuple:
+    """Process *i*'s parked messages enter the in-transit bag."""
+    return ("flush", i)
+
+
+class AsyncMessagePassingModel(Model):
+    """The asynchronous MP model driving a :class:`MessagePassingProtocol`."""
+
+    def __init__(self, protocol: MessagePassingProtocol, n: int) -> None:
+        super().__init__(n)
+        self._protocol = protocol
+
+    @property
+    def protocol(self) -> MessagePassingProtocol:
+        return self._protocol
+
+    # -- Model -------------------------------------------------------------
+    def initial_state(self, inputs: Sequence[Hashable]) -> GlobalState:
+        if len(inputs) != self.n:
+            raise ValueError(f"expected {self.n} inputs, got {len(inputs)}")
+        locals_ = tuple(
+            ("amp", self._protocol.initial_local(i, self.n, value), NO_OUTBOX)
+            for i, value in enumerate(inputs)
+        )
+        return GlobalState(mp_env(()), locals_)
+
+    def bag(self, state: GlobalState) -> dict[tuple[int, int], tuple]:
+        """The in-transit messages as ``{(sender, dest): payload FIFO}``."""
+        tag, entries = state.env
+        if tag != "mp":
+            raise ValueError(f"not an async-MP state: {state.env!r}")
+        return dict(entries)
+
+    def proto_local(self, state: GlobalState, i: int) -> Hashable:
+        """Process *i*'s protocol-level local state (unwrapped)."""
+        return state.local(i)[1]
+
+    def outbox(self, state: GlobalState, i: int):
+        """The staged-but-unsent messages of *i*, or ``NO_OUTBOX``."""
+        return state.local(i)[2]
+
+    def at_phase_boundary(self, state: GlobalState) -> bool:
+        """True iff no process holds staged messages."""
+        return all(self.outbox(state, i) is NO_OUTBOX for i in range(self.n))
+
+    def pending_for(self, state: GlobalState, i: int) -> dict[int, tuple]:
+        """Outstanding messages addressed to *i*: ``{sender: payloads}``."""
+        return {
+            sender: payloads
+            for (sender, dest), payloads in self.bag(state).items()
+            if dest == i
+        }
+
+    def actions(self, state: GlobalState) -> list[tuple]:
+        out = []
+        for i in range(self.n):
+            out.append(recv_action(i))
+            if self.outbox(state, i) is NO_OUTBOX:
+                out.append(stage_action(i))
+            else:
+                out.append(flush_action(i))
+        return out
+
+    def apply(self, state: GlobalState, action: tuple) -> GlobalState:
+        kind, i = action
+        if kind == "stage":
+            return self._apply_stage(state, i)
+        if kind == "recv":
+            return self._apply_recv(state, i)
+        if kind == "flush":
+            return self._apply_flush(state, i)
+        raise ValueError(f"unknown async-MP action {action!r}")
+
+    def _apply_stage(self, state: GlobalState, i: int) -> GlobalState:
+        _, proto_local, outbox = state.local(i)
+        if outbox is not NO_OUTBOX:
+            raise ValueError(f"process {i} already has staged messages")
+        outgoing = self._protocol.outgoing(i, self.n, proto_local)
+        if i in outgoing:
+            raise ValueError(f"process {i} attempted a self-message")
+        staged = tuple(sorted(outgoing.items()))
+        return state.replace_local(i, ("amp", proto_local, staged))
+
+    def _apply_recv(self, state: GlobalState, i: int) -> GlobalState:
+        _, proto_local, outbox = state.local(i)
+        bag = self.bag(state)
+        received = {}
+        for (sender, dest) in list(bag):
+            if dest == i:
+                received[sender] = MessageBatch(bag.pop((sender, dest)))
+        new_proto = self._protocol.transition(i, self.n, proto_local, received)
+        new_local = ("amp", new_proto, outbox)
+        new_env = mp_env(tuple(sorted(bag.items())))
+        return GlobalState(new_env, state.locals).replace_local(i, new_local)
+
+    def _apply_flush(self, state: GlobalState, i: int) -> GlobalState:
+        _, proto_local, outbox = state.local(i)
+        if outbox is NO_OUTBOX:
+            raise ValueError(f"process {i} has no staged messages to flush")
+        bag = self.bag(state)
+        for dest, payload in outbox:
+            channel = (i, dest)
+            queue = bag.get(channel, ())
+            # Idempotent channel compression: consecutive identical
+            # undelivered payloads collapse into one.  Without this, a
+            # protocol that keeps gossiping a stabilized value at a
+            # never-scheduled process grows the channel without bound and
+            # no exhaustive analysis terminates.  The quotient is faithful
+            # for the monotone-emission protocols this library ships (a
+            # sender's successive payloads change only when its state
+            # does), and it only ever merges *adjacent equal* messages, so
+            # FIFO order and message distinctness are preserved.
+            if not (queue and queue[-1] == payload):
+                bag[channel] = queue + (payload,)
+        new_local = ("amp", proto_local, NO_OUTBOX)
+        new_env = mp_env(tuple(sorted(bag.items())))
+        return GlobalState(new_env, state.locals).replace_local(i, new_local)
+
+    def local_phase(self, state: GlobalState, i: int) -> GlobalState:
+        """One complete sequential local phase of *i* (Section 5.1)."""
+        for action in (stage_action(i), recv_action(i), flush_action(i)):
+            state = self.apply(state, action)
+        return state
+
+    def failed_at(self, state: GlobalState) -> frozenset[int]:
+        """The asynchronous model displays no finite failure."""
+        return frozenset()
+
+    def nonfaulty_under(self, action: tuple) -> frozenset[int]:
+        """Only the acting process is certainly nonfaulty if this single
+        primitive repeats forever; everyone else would be crashed."""
+        _, i = action
+        return frozenset({i})
+
+    def envs_agree_modulo(self, env_x, env_y, j: int) -> bool:
+        """Bag equality with *j*'s incoming channels discounted.
+
+        See the module docstring: messages in transit *to* ``j`` are
+        information only ``j`` can ever observe, so for similarity with
+        witness ``j`` they are accounted to ``j``'s side of the
+        comparison, not the environment's.
+        """
+        tag_x, entries_x = env_x
+        tag_y, entries_y = env_y
+        if tag_x != "mp" or tag_y != "mp":
+            return env_x == env_y
+        strip = lambda entries: {  # noqa: E731
+            channel: payloads
+            for channel, payloads in entries
+            if channel[1] != j
+        }
+        return strip(entries_x) == strip(entries_y)
+
+    def decisions(self, state: GlobalState) -> dict[int, Hashable]:
+        out = {}
+        for i in range(self.n):
+            value = self._protocol.decision(i, self.n, self.proto_local(state, i))
+            if value is not None:
+                out[i] = value
+        return out

@@ -1,0 +1,78 @@
+"""Deterministic protocols: interfaces, classics and candidates.
+
+* interfaces — :class:`Protocol`, :class:`MessagePassingProtocol`,
+  :class:`SharedMemoryProtocol`, :class:`DualProtocol`;
+* the truncated full-information protocol (the "any protocol" proxy used
+  by the protocol-independent lemma checks);
+* classical upper bounds — :class:`FloodSet` and :class:`EIG`, correct at
+  ``t+1`` rounds, doomed at ``t``, plus the early-deciding variant that
+  beats ``t+1`` whenever the adversary wastes faults;
+* candidates the layered adversaries defeat — :class:`QuorumDecide`
+  (agreement violations), :class:`WaitForAll` (decision violations), and
+  constant/own-input full-information rules (validity/agreement
+  violations).
+"""
+
+from repro.protocols.base import (
+    DualProtocol,
+    MessageBatch,
+    MessagePassingProtocol,
+    Protocol,
+    SharedMemoryProtocol,
+)
+from repro.protocols.candidates import (
+    CoordinatorState,
+    GossipState,
+    QuorumDecide,
+    RotatingCoordinator,
+    WaitForAll,
+    make_rule_candidate,
+)
+from repro.protocols.early_deciding import (
+    EarlyDecidingFloodSet,
+    EarlyFloodState,
+)
+from repro.protocols.eig import EIG, EIGState
+from repro.protocols.floodset import FloodSet, FloodSetState
+from repro.protocols.tasks import (
+    DecideConstantProtocol,
+    DecideOwnInput,
+    EpsilonAgreementProtocol,
+    KSetAgreementProtocol,
+)
+from repro.protocols.full_information import (
+    FullInformationProtocol,
+    View,
+    decide_constant,
+    decide_min_observed,
+    decide_own_input,
+)
+
+__all__ = [
+    "DualProtocol",
+    "EIG",
+    "DecideConstantProtocol",
+    "DecideOwnInput",
+    "EarlyDecidingFloodSet",
+    "EarlyFloodState",
+    "EpsilonAgreementProtocol",
+    "KSetAgreementProtocol",
+    "EIGState",
+    "FloodSet",
+    "FloodSetState",
+    "FullInformationProtocol",
+    "GossipState",
+    "MessageBatch",
+    "MessagePassingProtocol",
+    "Protocol",
+    "CoordinatorState",
+    "QuorumDecide",
+    "RotatingCoordinator",
+    "SharedMemoryProtocol",
+    "View",
+    "WaitForAll",
+    "decide_constant",
+    "decide_min_observed",
+    "decide_own_input",
+    "make_rule_candidate",
+]

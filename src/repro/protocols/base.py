@@ -1,0 +1,220 @@
+"""Deterministic protocol interfaces.
+
+The paper analyzes *deterministic* protocols (Section 5: "Throughout the
+paper, we will focus on deterministic protocols").  A protocol is a local
+state machine per process; the environment (scheduler/adversary) chooses
+which actions happen and which messages are lost, the protocol chooses the
+content of messages, writes and decisions.
+
+Two interface families mirror the paper's two substrate styles:
+
+* :class:`MessagePassingProtocol` — used by the mobile-failure model
+  ``M^mf``, the t-resilient synchronous model of Section 6 and the
+  asynchronous message-passing model of Section 5.1.
+* :class:`SharedMemoryProtocol` — used by the single-writer/multi-reader
+  asynchronous shared-memory model ``M^rw``.
+
+Both share :class:`Protocol`: initial local states parameterized by the
+process's input value, and a *write-once* decision read off the local state.
+
+Finite-state requirement
+------------------------
+Every analysis in this library (exact valence, cycle-based divergence
+detection, exhaustive verification) requires the protocol's reachable local
+state space to be finite.  Concretely: after some bounded number of phases a
+protocol's local state must stop changing (its transition becomes the
+identity and it sends no new messages / performs no new writes).  All
+protocols shipped in :mod:`repro.protocols` satisfy this by carrying an
+explicit phase counter and freezing at a bound; the full-information
+protocol takes the bound as a constructor argument.  Violations are caught
+at analysis time by the exploration limit, not silently.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Hashable, Mapping
+from typing import Optional
+
+
+class Protocol(ABC):
+    """Common behaviour of deterministic protocols.
+
+    Subclasses must be stateless themselves: all per-process evolution lives
+    in the hashable local states they produce, so that the same protocol
+    object can drive every process and every branch of an exploration.
+    """
+
+    @abstractmethod
+    def initial_local(self, i: int, n: int, input_value: Hashable) -> Hashable:
+        """The initial local state of process *i* with the given input.
+
+        Distinct input values must produce distinct initial local states
+        (the paper's ``Con_0`` contains one state per input assignment).
+        """
+
+    @abstractmethod
+    def decision(self, i: int, n: int, local: Hashable) -> Optional[Hashable]:
+        """The value of the write-once decision variable ``d_i``.
+
+        Returns ``None`` while ``d_i`` is undefined.  Once non-None, the
+        checker enforces that it never changes along any transition
+        (condition (ii) of "system for consensus", Section 3).
+        """
+
+    def name(self) -> str:
+        """Human-readable protocol name, used in reports."""
+        return type(self).__name__
+
+
+class MessagePassingProtocol(Protocol):
+    """A deterministic protocol for round/phase message-passing models.
+
+    The driving model calls, per local phase of process *i*:
+
+    1. :meth:`outgoing` on the current local state to obtain the messages
+       *i* sends (at most one per destination, never to itself);
+    2. (the environment delivers or drops messages according to the model);
+    3. :meth:`transition` with the mapping of *delivered* messages, to
+       obtain the new local state.
+
+    In synchronous models a round consists of everybody sending and then
+    everybody receiving, so the absence of a sender in ``received`` is
+    observable (the classic "⊥ received").  In the asynchronous model a
+    local phase delivers *all outstanding* messages first and then sends,
+    so ``received`` maps each sender to the tuple of its pending payloads;
+    synchronous models pass single payloads.  The adapters in
+    :mod:`repro.models` normalise this: synchronous models pass
+    ``{sender: payload}``, the asynchronous model passes
+    ``{sender: (payload, ...)}``.  Protocol implementations that work in
+    both worlds (e.g. full information, flooding) accept either shape.
+    """
+
+    @abstractmethod
+    def outgoing(self, i: int, n: int, local: Hashable) -> Mapping[int, Hashable]:
+        """Messages sent by *i* this phase: destination -> payload.
+
+        Must not include *i* itself.  Returning an empty mapping means *i*
+        sends nothing this phase.
+        """
+
+    @abstractmethod
+    def transition(
+        self, i: int, n: int, local: Hashable, received: Mapping[int, Hashable]
+    ) -> Hashable:
+        """The new local state after receiving ``received`` this phase."""
+
+
+class SharedMemoryProtocol(Protocol):
+    """A deterministic protocol for the single-writer/multi-reader model.
+
+    A *local phase* of process *i* (Section 5.1) consists of at most one
+    write to *i*'s own register followed by a maximal sequence of reads in
+    which no register is read more than once.  The adapters in
+    :mod:`repro.models.shared_memory` fix the read set to *all* registers
+    in index order (a full collect), which is a maximal read sequence.
+
+    Per phase the model calls:
+
+    1. :meth:`write_value` — the value *i* writes to its own register this
+       phase, or ``None`` to skip the write;
+    2. (reads happen, under the schedule the environment chose);
+    3. :meth:`after_reads` with the tuple of values read (index ``j`` holds
+       the value read from register ``j``).
+
+    The method is named ``after_reads`` rather than ``transition`` so that a
+    protocol can implement both this interface and
+    :class:`MessagePassingProtocol` (whose phase transition has a different
+    observation shape) without a signature clash — see :class:`DualProtocol`.
+    """
+
+    @abstractmethod
+    def write_value(self, i: int, n: int, local: Hashable) -> Optional[Hashable]:
+        """The value written to register *i* at the start of the phase."""
+
+    @abstractmethod
+    def after_reads(
+        self, i: int, n: int, local: Hashable, reads: tuple[Hashable, ...]
+    ) -> Hashable:
+        """The new local state after the phase's reads complete."""
+
+
+class DualProtocol(MessagePassingProtocol, SharedMemoryProtocol, ABC):
+    """A protocol usable in both message-passing and shared-memory models.
+
+    The full-information protocol and the phase-counting candidates below
+    are communication-pattern agnostic: they broadcast/write their whole
+    view and fold whatever they observe into it.  Subclasses implement the
+    view-folding :meth:`observe` once; the two substrate-specific
+    ``transition`` shapes are derived from it.
+
+    ``observe`` receives a canonical observation: a tuple of
+    ``(source, payload)`` pairs sorted by source.  For message passing the
+    payload is the (last) message delivered from that sender this phase;
+    for shared memory it is the value read from that register (``source``
+    then ranges over all registers, including ⊥-valued ones — a read of an
+    unwritten register is itself information).
+    """
+
+    @abstractmethod
+    def observe(
+        self, i: int, n: int, local: Hashable, observation: tuple
+    ) -> Hashable:
+        """Fold a canonical observation into the local state."""
+
+    @abstractmethod
+    def emit(self, i: int, n: int, local: Hashable) -> Optional[Hashable]:
+        """The payload broadcast / written this phase (None = silent)."""
+
+    # -- MessagePassingProtocol ------------------------------------------
+    def outgoing(self, i: int, n: int, local: Hashable) -> dict[int, Hashable]:
+        payload = self.emit(i, n, local)
+        if payload is None:
+            return {}
+        return {j: payload for j in range(n) if j != i}
+
+    def transition(self, i, n, local, received):  # type: ignore[override]
+        observation = _canonical_received(received)
+        return self.observe(i, n, local, observation)
+
+    # -- SharedMemoryProtocol --------------------------------------------
+    def write_value(self, i: int, n: int, local: Hashable) -> Optional[Hashable]:
+        return self.emit(i, n, local)
+
+    def after_reads(
+        self, i: int, n: int, local: Hashable, reads: tuple[Hashable, ...]
+    ) -> Hashable:
+        observation = tuple((j, value) for j, value in enumerate(reads))
+        return self.observe(i, n, local, observation)
+
+
+def _canonical_received(received: Mapping[int, Hashable]) -> tuple:
+    """Normalise a received-mapping into a sorted (source, payload) tuple.
+
+    Asynchronous models deliver tuples of payloads per sender; the *last*
+    payload is the freshest and is what view-folding protocols use (earlier
+    ones are prefixes of it for full-information-style protocols).
+    """
+    out = []
+    for sender in sorted(received):
+        payload = received[sender]
+        if isinstance(payload, MessageBatch) and payload:
+            payload = payload[-1]
+        out.append((sender, payload))
+    return tuple(out)
+
+
+class MessageBatch(tuple):
+    """A tuple of payloads delivered together from one sender.
+
+    The asynchronous message-passing model wraps multi-payload deliveries
+    in this marker type so protocols (and :func:`_canonical_received`) can
+    distinguish "several queued messages" from "one message whose payload
+    happens to be a tuple" without guessing.
+    """
+
+    _is_batch = True
+
+    def last(self) -> Hashable:
+        """The freshest payload of the batch."""
+        return self[-1]

@@ -1,0 +1,237 @@
+"""Candidate consensus protocols that the layered adversaries must defeat.
+
+Theorem 4.2 classifies what goes wrong for *any* protocol in a layered
+model whose layers are valence connected: it cannot satisfy decision,
+agreement and validity simultaneously.  The candidates here are chosen to
+exercise every arm of that trichotomy in the asynchronous-style models:
+
+* :class:`QuorumDecide` always terminates and is valid — the adversary
+  finds an **agreement** violation (a slow process decides differently).
+* :class:`WaitForAll` agrees and is valid whenever it decides — the
+  adversary finds a **decision** violation (a fair schedule on which some
+  process can never hear from everybody).
+* ``FullInformationProtocol(phases=k, decision_rule=decide_constant(v))``
+  (from :mod:`repro.protocols.full_information`) terminates and agrees —
+  the checker finds the **validity** violation.
+
+All candidates track only *bounded* summaries of what they observed (sets
+of ``(pid, input)`` pairs), so their reachable state spaces are finite and
+the exact valence/divergence analyses apply.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.protocols.base import DualProtocol
+from repro.protocols.full_information import View
+
+
+@dataclass(frozen=True, slots=True)
+class GossipState:
+    """Local state of the gossip-style candidates.
+
+    ``seen`` is the set of ``(pid, input)`` pairs this process has observed,
+    directly or transitively.  It always contains the process's own pair.
+    """
+
+    pid: int
+    input: Hashable
+    seen: frozenset
+    decided: Optional[Hashable] = None
+
+
+class _GossipProtocol(DualProtocol):
+    """Shared machinery: emit one's ``seen`` set, fold in what is observed.
+
+    Subclasses decide via :meth:`maybe_decide`.  After deciding, a process
+    keeps gossiping its final ``seen`` set (this keeps schedules fair and
+    the state space finite: a decided process's state no longer changes).
+    """
+
+    def initial_local(self, i: int, n: int, input_value: Hashable) -> GossipState:
+        state = GossipState(
+            pid=i, input=input_value, seen=frozenset({(i, input_value)})
+        )
+        return self._apply_decision(i, n, state)
+
+    def decision(self, i: int, n: int, local: GossipState) -> Optional[Hashable]:
+        return local.decided
+
+    def emit(self, i: int, n: int, local: GossipState) -> frozenset:
+        return local.seen
+
+    def observe(
+        self, i: int, n: int, local: GossipState, observation: tuple
+    ) -> GossipState:
+        seen = set(local.seen)
+        for _, payload in observation:
+            if isinstance(payload, frozenset):
+                seen.update(payload)
+        new = GossipState(
+            pid=local.pid,
+            input=local.input,
+            seen=frozenset(seen),
+            decided=local.decided,
+        )
+        return self._apply_decision(i, n, new)
+
+    def _apply_decision(self, i: int, n: int, local: GossipState) -> GossipState:
+        if local.decided is not None:
+            return local
+        value = self.maybe_decide(i, n, local)
+        if value is None:
+            return local
+        return GossipState(
+            pid=local.pid, input=local.input, seen=local.seen, decided=value
+        )
+
+    def maybe_decide(
+        self, i: int, n: int, local: GossipState
+    ) -> Optional[Hashable]:
+        """Return a decision value, or None to stay undecided."""
+        raise NotImplementedError
+
+
+class QuorumDecide(_GossipProtocol):
+    """Decide the minimum input once a quorum of inputs has been seen.
+
+    With ``quorum = n - 1`` this is the natural 1-resilient attempt: "wait
+    for all but one, then take the minimum".  It terminates on every fair
+    schedule and is trivially valid, so in any valence-connected layered
+    model the adversary finds the agreement violation: a schedule where the
+    quorum of the fast processes misses the unique minimal input held by
+    the slow process, which later decides that smaller value itself.
+    """
+
+    def __init__(self, quorum: int) -> None:
+        if quorum < 1:
+            raise ValueError("quorum must be positive")
+        self._quorum = quorum
+
+    def name(self) -> str:
+        return f"QuorumDecide(quorum={self._quorum})"
+
+    def maybe_decide(
+        self, i: int, n: int, local: GossipState
+    ) -> Optional[Hashable]:
+        if len({pid for pid, _ in local.seen}) >= self._quorum:
+            return min(value for _, value in local.seen)
+        return None
+
+
+class WaitForAll(_GossipProtocol):
+    """Decide the minimum input only after seeing *every* process's input.
+
+    Whenever it decides, all deciders saw the same full set, so agreement
+    and validity hold — but a single silent process starves everyone else
+    forever.  The adversary exhibits the decision violation: a fair layered
+    schedule (all but one process move infinitely often) on which no
+    process ever decides, presented as an eventually-periodic run witness.
+    """
+
+    def name(self) -> str:
+        return "WaitForAll"
+
+    def maybe_decide(
+        self, i: int, n: int, local: GossipState
+    ) -> Optional[Hashable]:
+        if len({pid for pid, _ in local.seen}) == n:
+            return min(value for _, value in local.seen)
+        return None
+
+
+@dataclass(frozen=True, slots=True)
+class CoordinatorState:
+    """Local state of the rotating-coordinator candidate."""
+
+    pid: int
+    input: Hashable
+    estimate: Hashable
+    phase: int
+    decided: Optional[Hashable] = None
+
+
+class RotatingCoordinator(DualProtocol):
+    """The rotating-coordinator consensus attempt.
+
+    Phase ``p``'s coordinator is process ``p mod n``; everyone adopts the
+    coordinator's current estimate when they observe it this phase
+    (otherwise they keep their own), and after ``phases`` phases decides
+    its estimate.  The folk intuition — "after a full rotation some
+    coordinator was heard by everyone" — is false under asynchrony: the
+    layered adversary delays exactly the coordinator each phase and
+    splits the estimates, an agreement violation.  (This is the shape
+    rotating-coordinator algorithms need failure detectors or randomness
+    to escape; cf. Chandra–Toueg, cited in the paper's introduction.)
+    """
+
+    def __init__(self, phases: int) -> None:
+        if phases < 1:
+            raise ValueError("at least one phase required")
+        self._phases = phases
+
+    def name(self) -> str:
+        return f"RotatingCoordinator(phases={self._phases})"
+
+    def initial_local(
+        self, i: int, n: int, input_value: Hashable
+    ) -> CoordinatorState:
+        return CoordinatorState(
+            pid=i, input=input_value, estimate=input_value, phase=0
+        )
+
+    def decision(self, i: int, n: int, local: CoordinatorState):
+        return local.decided
+
+    def emit(self, i: int, n: int, local: CoordinatorState):
+        if local.phase >= self._phases:
+            return None
+        return ("coord", local.pid, local.phase, local.estimate)
+
+    def observe(
+        self, i: int, n: int, local: CoordinatorState, observation: tuple
+    ) -> CoordinatorState:
+        if local.phase >= self._phases:
+            return local
+        coordinator = local.phase % n
+        estimate = local.estimate
+        for _, payload in observation:
+            if (
+                isinstance(payload, tuple)
+                and len(payload) == 4
+                and payload[0] == "coord"
+                and payload[1] == coordinator
+                and payload[2] == local.phase
+            ):
+                estimate = payload[3]
+        if local.pid == coordinator:
+            estimate = local.estimate  # the coordinator keeps its own
+        new_phase = local.phase + 1
+        decided = local.decided
+        if new_phase >= self._phases and decided is None:
+            decided = estimate
+        return CoordinatorState(
+            pid=local.pid,
+            input=local.input,
+            estimate=estimate,
+            phase=new_phase,
+            decided=decided,
+        )
+
+
+def make_rule_candidate(
+    phases: int, rule: Callable[[View], Hashable], rule_name: str
+):
+    """A bounded-phase full-information candidate with the given rule.
+
+    Convenience used by the experiment drivers to sweep over decision
+    rules; see :mod:`repro.protocols.full_information` for stock rules.
+    """
+    from repro.protocols.full_information import FullInformationProtocol
+
+    return FullInformationProtocol(
+        phases=phases, decision_rule=rule, rule_name=rule_name
+    )

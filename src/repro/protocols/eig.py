@@ -1,0 +1,119 @@
+"""Exponential Information Gathering (EIG) consensus.
+
+EIG is the second classical ``t+1``-round consensus protocol for the
+synchronous crash/omission model (Lynch §6.2.3; it originates in the
+Byzantine-agreement literature [Pease–Shostak–Lamport]).  Each process
+maintains a tree of relayed values: the node labelled by the sequence
+``(j_1, ..., j_r)`` of *distinct* process ids holds "the value that ``j_r``
+said that ``j_{r-1}`` said ... that ``j_1``'s input was".  Round ``r``
+broadcasts one's level-``(r-1)`` nodes; after ``rounds`` rounds the process
+decides a canonical element (minimum) of the set of values in its tree.
+
+For crash and send-omission failures EIG's decision set equals FloodSet's
+(every relayed value is some process's input), but the protocol exercises a
+genuinely different local-state structure — the impossibility and
+lower-bound engines treat it as an independent subject, which is useful
+evidence that the adversaries are protocol-agnostic.
+
+The local state freezes after the decision round (finite state space).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.protocols.base import MessageBatch, MessagePassingProtocol
+
+Label = tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class EIGState:
+    """EIG local state: the information-gathering tree.
+
+    ``tree`` is a frozenset of ``(label, value)`` pairs; labels are tuples
+    of distinct process ids (the root is the empty tuple, holding the
+    process's own input).
+    """
+
+    input: Hashable
+    tree: frozenset
+    round: int
+    decided: Optional[Hashable] = None
+
+    def value_at(self, label: Label) -> Optional[Hashable]:
+        """The value stored at a tree node, or None if absent."""
+        for node_label, value in self.tree:
+            if node_label == label:
+                return value
+        return None
+
+    def level(self, depth: int) -> frozenset:
+        """All ``(label, value)`` pairs whose label has the given length."""
+        return frozenset(
+            (label, value) for label, value in self.tree if len(label) == depth
+        )
+
+
+class EIG(MessagePassingProtocol):
+    """Exponential Information Gathering with a configurable round count."""
+
+    def __init__(self, rounds: int) -> None:
+        if rounds < 1:
+            raise ValueError("EIG needs at least one round")
+        self._rounds = rounds
+
+    @property
+    def rounds(self) -> int:
+        return self._rounds
+
+    def name(self) -> str:
+        return f"EIG(rounds={self._rounds})"
+
+    # -- Protocol ---------------------------------------------------------
+    def initial_local(self, i: int, n: int, input_value: Hashable) -> EIGState:
+        return EIGState(
+            input=input_value,
+            tree=frozenset({((), input_value)}),
+            round=0,
+        )
+
+    def decision(self, i: int, n: int, local: EIGState) -> Optional[Hashable]:
+        return local.decided
+
+    # -- MessagePassingProtocol --------------------------------------------
+    def outgoing(self, i: int, n: int, local: EIGState) -> dict[int, frozenset]:
+        if local.round >= self._rounds:
+            return {}
+        payload = local.level(local.round)
+        return {j: payload for j in range(n) if j != i}
+
+    def transition(
+        self, i: int, n: int, local: EIGState, received: Mapping
+    ) -> EIGState:
+        if local.round >= self._rounds:
+            return local
+        new_nodes = set(local.tree)
+        for sender, payload in received.items():
+            for level_nodes in _iter_payloads(payload):
+                for label, value in level_nodes:
+                    if sender in label or len(label) != local.round:
+                        continue
+                    new_nodes.add((label + (sender,), value))
+        new_round = local.round + 1
+        decided = local.decided
+        tree = frozenset(new_nodes)
+        if new_round >= self._rounds and decided is None:
+            decided = min(value for _, value in tree)
+        return EIGState(
+            input=local.input, tree=tree, round=new_round, decided=decided
+        )
+
+
+def _iter_payloads(payload):
+    if isinstance(payload, MessageBatch):
+        yield from payload
+    else:
+        yield payload

@@ -1,0 +1,115 @@
+"""The FloodSet consensus protocol (the classical ``t+1``-round upper bound).
+
+FloodSet (see e.g. Lynch, *Distributed Algorithms*, §6.2) is the protocol
+that makes the Dolev–Strong lower bound of Corollary 6.3 tight: every
+process repeatedly broadcasts the set of input values it has seen; after
+``rounds`` rounds it decides a canonical element (here: the minimum) of its
+set.  With ``rounds = t+1`` and at most ``t`` crash/send-omission failures
+there is always a *clean* round with no new failure, after which all
+non-failed processes hold the same set — hence they agree.
+
+With ``rounds = t`` the protocol still terminates and is valid, so by the
+paper's Section 6 analysis it **must** violate agreement under some
+``S^t`` schedule; the adversary in
+:mod:`repro.analysis.sync_lower_bound` finds that schedule.  The same
+class therefore serves as both the positive control (``t+1`` rounds,
+verified exhaustively) and the defeated candidate (``t`` rounds).
+
+The local state freezes after the decision round, so the reachable state
+space is finite as required by the analyses.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Mapping
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.protocols.base import MessageBatch, MessagePassingProtocol
+
+
+@dataclass(frozen=True, slots=True)
+class FloodSetState:
+    """FloodSet local state: the set of values seen so far."""
+
+    input: Hashable
+    known: frozenset
+    round: int
+    decided: Optional[Hashable] = None
+
+
+class FloodSet(MessagePassingProtocol):
+    """FloodSet with a configurable round count and decision map.
+
+    Args:
+        rounds: number of broadcast rounds before deciding.  ``t+1`` is
+            correct for ``t``-resilient runs; ``t`` or fewer is the doomed
+            candidate the lower-bound experiments defeat.
+        choose: canonical choice function applied to the final set of seen
+            values (default: :func:`min`).  Any deterministic choice keeps
+            validity; agreement is what the round count buys.
+    """
+
+    def __init__(
+        self,
+        rounds: int,
+        choose: Callable[[frozenset], Hashable] = min,
+        choose_name: str = "min",
+    ) -> None:
+        if rounds < 1:
+            raise ValueError("FloodSet needs at least one round")
+        self._rounds = rounds
+        self._choose = choose
+        self._choose_name = choose_name
+
+    @property
+    def rounds(self) -> int:
+        return self._rounds
+
+    def name(self) -> str:
+        return f"FloodSet(rounds={self._rounds}, choose={self._choose_name})"
+
+    # -- Protocol ---------------------------------------------------------
+    def initial_local(self, i: int, n: int, input_value: Hashable) -> FloodSetState:
+        return FloodSetState(
+            input=input_value, known=frozenset({input_value}), round=0
+        )
+
+    def decision(self, i: int, n: int, local: FloodSetState) -> Optional[Hashable]:
+        return local.decided
+
+    # -- MessagePassingProtocol --------------------------------------------
+    def outgoing(
+        self, i: int, n: int, local: FloodSetState
+    ) -> dict[int, frozenset]:
+        if local.round >= self._rounds:
+            return {}
+        return {j: local.known for j in range(n) if j != i}
+
+    def transition(
+        self, i: int, n: int, local: FloodSetState, received: Mapping
+    ) -> FloodSetState:
+        if local.round >= self._rounds:
+            return local
+        known = set(local.known)
+        for payload in received.values():
+            for value_set in _iter_payloads(payload):
+                known.update(value_set)
+        new_round = local.round + 1
+        decided = local.decided
+        if new_round >= self._rounds and decided is None:
+            decided = self._choose(frozenset(known))
+        return FloodSetState(
+            input=local.input,
+            known=frozenset(known),
+            round=new_round,
+            decided=decided,
+        )
+
+
+def _iter_payloads(payload):
+    """Yield each individual payload whether batched or single."""
+    if isinstance(payload, MessageBatch):
+        yield from payload
+    else:
+        yield payload

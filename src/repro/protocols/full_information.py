@@ -1,0 +1,178 @@
+"""The full-information protocol, truncated to a bounded number of phases.
+
+Full-information protocols are the canonical "richest" protocols: every
+phase each process transmits its entire local state (its *view*) and folds
+everything it observes back into the view.  Any deterministic protocol is a
+function of the full-information view, which is why the paper's
+protocol-independent layer-structure facts (the similarity chains of Lemmas
+5.1 and 5.3, the diamond of the permutation layering) are checked on it:
+if two schedules are indistinguishable under full information they are
+indistinguishable under *every* protocol.
+
+The truncation parameter bounds the number of *active* phases.  After
+``phases`` transitions the view freezes (the transition becomes the
+identity and nothing further is emitted), which keeps the reachable state
+space finite — the precondition for the exact valence analysis (see
+:mod:`repro.protocols.base`).  Truncation is harmless for the library's
+uses: every lemma-check examines finitely many layers, and the bound is
+always chosen larger than the horizon under examination.
+
+An optional ``decision_rule`` turns the truncated full-information protocol
+into a *candidate consensus protocol*: at the freezing phase it decides
+``decision_rule(view)``.  This is how the impossibility drivers quantify
+over protocols — any bounded-phase deterministic protocol is equivalent to
+a truncated full-information protocol with some decision rule.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.protocols.base import DualProtocol
+
+
+@dataclass(frozen=True, slots=True)
+class View:
+    """A full-information local state.
+
+    Attributes:
+        pid: the owning process.
+        input: the process's initial input value.
+        phase: how many phases this process has completed.
+        history: a tuple with one entry per completed phase; each entry is
+            the canonical observation tuple of that phase, i.e. sorted
+            ``(source, payload)`` pairs where each payload is either a
+            ``View`` (what the source emitted) or a raw register value.
+        decided: the write-once decision value, or None.
+    """
+
+    pid: int
+    input: Hashable
+    phase: int
+    history: tuple
+    decided: Optional[Hashable] = None
+
+    def observed_inputs(self) -> frozenset:
+        """All input values present anywhere in this view (recursively)."""
+        found = {self.input}
+        stack = [self.history]
+        while stack:
+            item = stack.pop()
+            if isinstance(item, View):
+                found.add(item.input)
+                stack.append(item.history)
+            elif isinstance(item, tuple):
+                stack.extend(item)
+        return frozenset(found)
+
+    def heard_from(self) -> frozenset[int]:
+        """Process ids whose views appear at the top level of any phase."""
+        sources = set()
+        for observation in self.history:
+            for source, payload in observation:
+                if isinstance(payload, View):
+                    sources.add(source)
+        return frozenset(sources)
+
+
+class FullInformationProtocol(DualProtocol):
+    """Truncated full-information protocol (see module docstring).
+
+    Args:
+        phases: number of active phases before the view freezes.
+        decision_rule: optional ``view -> value`` map applied exactly once,
+            when the view reaches ``phases`` completed phases.  Without a
+            rule the protocol never decides (it is then used purely for
+            schedule-structure analysis).
+    """
+
+    def __init__(
+        self,
+        phases: int,
+        decision_rule: Optional[Callable[[View], Hashable]] = None,
+        rule_name: str = "",
+    ) -> None:
+        if phases < 0:
+            raise ValueError("phases must be non-negative")
+        self._phases = phases
+        self._decision_rule = decision_rule
+        self._rule_name = rule_name
+
+    @property
+    def phases(self) -> int:
+        return self._phases
+
+    def name(self) -> str:
+        rule = self._rule_name or (
+            "undecided" if self._decision_rule is None else "custom-rule"
+        )
+        return f"FullInformation(phases={self._phases}, rule={rule})"
+
+    # -- Protocol ---------------------------------------------------------
+    def initial_local(self, i: int, n: int, input_value: Hashable) -> View:
+        view = View(pid=i, input=input_value, phase=0, history=())
+        if self._phases == 0:
+            return self._maybe_decide(view)
+        return view
+
+    def decision(self, i: int, n: int, local: View) -> Optional[Hashable]:
+        return local.decided
+
+    # -- DualProtocol -----------------------------------------------------
+    def emit(self, i: int, n: int, local: View) -> Optional[View]:
+        if local.phase >= self._phases:
+            return None
+        return local
+
+    def observe(self, i: int, n: int, local: View, observation: tuple) -> View:
+        if local.phase >= self._phases:
+            return local
+        new = View(
+            pid=local.pid,
+            input=local.input,
+            phase=local.phase + 1,
+            history=local.history + (observation,),
+            decided=local.decided,
+        )
+        if new.phase >= self._phases:
+            new = self._maybe_decide(new)
+        return new
+
+    def _maybe_decide(self, view: View) -> View:
+        if self._decision_rule is None or view.decided is not None:
+            return view
+        return View(
+            pid=view.pid,
+            input=view.input,
+            phase=view.phase,
+            history=view.history,
+            decided=self._decision_rule(view),
+        )
+
+
+def decide_min_observed(view: View) -> Hashable:
+    """Decision rule: the minimum input value observed anywhere in the view.
+
+    With binary inputs this is the archetypal "optimistic" consensus rule;
+    it satisfies validity by construction and is exactly the rule whose
+    agreement the layered adversaries break.
+    """
+    return min(view.observed_inputs())
+
+
+def decide_own_input(view: View) -> Hashable:
+    """Decision rule: stubbornly decide one's own input (violates agreement
+    on mixed inputs — a negative control for the checker)."""
+    return view.input
+
+
+def decide_constant(value: Hashable) -> Callable[[View], Hashable]:
+    """Decision rule factory: always decide *value* (violates validity on
+    runs whose inputs exclude it — a negative control for the checker)."""
+
+    def rule(view: View) -> Hashable:
+        return value
+
+    return rule

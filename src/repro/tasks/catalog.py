@@ -1,0 +1,214 @@
+"""A catalog of concrete decision tasks (Section 7 experiments).
+
+Each factory returns a :class:`DecisionProblem` for ``n`` processes.  The
+catalog spans the solvability frontier that Corollary 7.3 characterizes:
+
+====================  ==========================  =========================
+task                  1-thick-connected?          1-resiliently solvable?
+====================  ==========================  =========================
+binary consensus      no (two disjoint facets)    no (Corollaries 5.2/5.4)
+leader election       no (n disjoint facets)      no
+k-set agreement, k=2  yes (n >= 3)                yes (t = 1 < k)
+epsilon agreement     yes                         yes (one-exchange protocol)
+identity task         yes                         yes (decide own input)
+constant task         yes (single facet)          yes (decide 0)
+====================  ==========================  =========================
+
+The experiment drivers check both columns mechanically: the left with
+:func:`repro.tasks.thick.problem_is_k_thick_connected`, the right by
+running protocols (:mod:`repro.protocols.tasks`) through the task checker
+or defeating candidates with the layered adversaries.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.tasks.complex import Complex, full_complex
+from repro.tasks.problem import DecisionProblem, delta_from_rule
+from repro.tasks.simplex import Simplex
+
+
+def binary_consensus(n: int) -> DecisionProblem:
+    """Binary consensus as a decision problem.
+
+    Inputs: all 0/1 assignments.  Outputs: the all-0 and all-1 facets.
+    Δ: unanimous inputs force the matching output; mixed inputs allow
+    either (validity: "each decision was somebody's input").
+    """
+    inputs = full_complex(n, (0, 1))
+    all0 = Simplex.from_values([0] * n)
+    all1 = Simplex.from_values([1] * n)
+    outputs = Complex([all0, all1])
+
+    def rule(s: Simplex):
+        values = s.values()
+        if values == {0}:
+            return [all0]
+        if values == {1}:
+            return [all1]
+        return [all0, all1]
+
+    return DecisionProblem(
+        name=f"consensus(n={n})",
+        n=n,
+        inputs=inputs,
+        outputs=outputs,
+        delta=delta_from_rule(inputs, n, rule),
+    )
+
+
+def leader_election(n: int) -> DecisionProblem:
+    """Elect a common leader among the *candidates*.
+
+    Each process inputs a candidacy flag (0/1, at least one candidate);
+    everyone must decide the same id, which must be a candidate's.  With
+    a fixed sole candidate the output is forced; when candidacies vary,
+    agreeing on one is consensus-hard: the unanimous-leader facets are
+    pairwise disjoint, so no subproblem is 1-thick-connected across the
+    input sets linking two sole-candidate assignments.
+
+    (An input-free "decide a common id" task would be *trivially*
+    solvable — everyone decides id 0 — which is why the candidacy inputs
+    are essential to make election a genuine negative control.)
+    """
+    facets = [
+        Simplex.from_values(assignment)
+        for assignment in product((0, 1), repeat=n)
+        if any(assignment)
+    ]
+    inputs = Complex(facets)
+    leader_facets = [Simplex.from_values([i] * n) for i in range(n)]
+    outputs = Complex(leader_facets)
+
+    def rule(s: Simplex):
+        return [leader_facets[i] for i in range(n) if s.value_of(i) == 1]
+
+    return DecisionProblem(
+        name=f"leader-election(n={n})",
+        n=n,
+        inputs=inputs,
+        outputs=outputs,
+        delta=delta_from_rule(inputs, n, rule),
+    )
+
+
+def k_set_agreement(
+    n: int, k: int, values: tuple = (0, 1, 2)
+) -> DecisionProblem:
+    """k-set agreement: decide inputs, at most ``k`` distinct decisions.
+
+    The default three-value input domain makes ``k = 2`` genuinely weaker
+    than consensus (with binary inputs every assignment has at most two
+    distinct values).  1-resiliently solvable iff ``k >= 2`` — the
+    BG/HS/SZ frontier at its smallest instance.
+    """
+    if not 1 <= k <= n:
+        raise ValueError(f"k={k} out of range 1..{n}")
+    inputs = full_complex(n, values)
+
+    def rule(s: Simplex):
+        allowed = sorted(s.values())
+        out = []
+        for assignment in product(allowed, repeat=n):
+            if len(set(assignment)) <= k:
+                out.append(Simplex.from_values(assignment))
+        return out
+
+    outputs = Complex(
+        Simplex.from_values(a)
+        for a in product(values, repeat=n)
+        if len(set(a)) <= k
+    )
+    return DecisionProblem(
+        name=f"{k}-set-agreement(n={n})",
+        n=n,
+        inputs=inputs,
+        outputs=outputs,
+        delta=delta_from_rule(inputs, n, rule),
+    )
+
+
+def epsilon_agreement(n: int) -> DecisionProblem:
+    """Discretized approximate agreement.
+
+    Inputs 0/1; outputs on the three-point scale ``0, 1, 2`` (read: 0,
+    1/2, 1).  All decisions must fit in a window of width 1 on the scale
+    and stay within the inputs' span: unanimous inputs force the matching
+    endpoint; mixed inputs allow any window-1 assignment.  Solvable
+    1-resiliently by a single exchange (see
+    :class:`repro.protocols.tasks.EpsilonAgreementProtocol`).
+    """
+    inputs = full_complex(n, (0, 1))
+    all0 = Simplex.from_values([0] * n)
+    all2 = Simplex.from_values([2] * n)
+
+    def window_facets(levels):
+        out = []
+        for assignment in product(levels, repeat=n):
+            if max(assignment) - min(assignment) <= 1:
+                out.append(Simplex.from_values(assignment))
+        return out
+
+    def rule(s: Simplex):
+        values = s.values()
+        if values == {0}:
+            return [all0]
+        if values == {1}:
+            return [all2]
+        return window_facets((0, 1, 2))
+
+    outputs = Complex(window_facets((0, 1, 2)))
+    return DecisionProblem(
+        name=f"epsilon-agreement(n={n})",
+        n=n,
+        inputs=inputs,
+        outputs=outputs,
+        delta=delta_from_rule(inputs, n, rule),
+    )
+
+
+def identity_task(n: int) -> DecisionProblem:
+    """Everyone decides its own input — trivially solvable, and a useful
+    positive control: ``C_Δ(I)`` mirrors ``I`` itself."""
+    inputs = full_complex(n, (0, 1))
+    return DecisionProblem(
+        name=f"identity(n={n})",
+        n=n,
+        inputs=inputs,
+        outputs=inputs,
+        delta=delta_from_rule(inputs, n, lambda s: [s]),
+    )
+
+
+def constant_task(n: int) -> DecisionProblem:
+    """Everyone decides 0 regardless of input — the degenerate solvable
+    task (single output facet)."""
+    inputs = full_complex(n, (0, 1))
+    zero = Simplex.from_values([0] * n)
+    return DecisionProblem(
+        name=f"constant-0(n={n})",
+        n=n,
+        inputs=inputs,
+        outputs=Complex([zero]),
+        delta=delta_from_rule(inputs, n, lambda s: [zero]),
+    )
+
+
+CATALOG = {
+    "consensus": binary_consensus,
+    "leader-election": leader_election,
+    "2-set-agreement": lambda n: k_set_agreement(n, 2),
+    "epsilon-agreement": epsilon_agreement,
+    "identity": identity_task,
+    "constant": constant_task,
+}
+
+EXPECTED_SOLVABLE = {
+    "consensus": False,
+    "leader-election": False,
+    "2-set-agreement": True,
+    "epsilon-agreement": True,
+    "identity": True,
+    "constant": True,
+}

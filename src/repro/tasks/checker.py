@@ -1,0 +1,197 @@
+"""Exhaustive decision-task checking (Section 7).
+
+The task analogue of :class:`repro.core.checker.ConsensusChecker`: given a
+:class:`DecisionProblem` and a protocol bound into a layered system, the
+checker explores every ``S``-run from every input facet and verifies
+
+* **validity** — at every reachable state, the simplex of decisions made
+  by non-failed processes belongs to ``Δ(s)`` for the run's input facet
+  ``s`` (complexes are face-closed, so a partial decision set violating
+  this can never be completed into an acceptable output: early detection
+  is sound);
+* **decision** — no fair infinite run starves a nonfaulty undecided
+  process (same lasso analysis as the consensus checker);
+* **write-once** decisions.
+
+Agreement-style constraints are not separate for general tasks: they are
+encoded in ``Δ`` (e.g. consensus-as-a-task puts only the unanimous
+facets in the output complex).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.checker import ConsensusChecker, Verdict
+from repro.core.run import Execution
+from repro.core.state import GlobalState
+from repro.core.valence import ExplorationLimitExceeded
+from repro.tasks.problem import DecisionProblem
+from repro.tasks.simplex import Simplex
+
+
+@dataclass(frozen=True)
+class TaskReport:
+    """The result of checking one protocol against one task."""
+
+    verdict: Verdict
+    input_facet: Optional[Simplex]
+    execution: Optional[Execution]
+    cycle: Optional[Execution]
+    detail: str
+    states_explored: int
+
+    @property
+    def satisfied(self) -> bool:
+        return self.verdict is Verdict.SATISFIED
+
+
+class TaskChecker:
+    """Exhaustively check decision + validity for a decision problem.
+
+    Reuses the consensus checker's exploration and lasso machinery; only
+    the state-level safety predicate differs (Δ-membership instead of
+    agreement/value-validity).
+    """
+
+    def __init__(
+        self, system, problem: DecisionProblem, max_states: int = 2_000_000
+    ) -> None:
+        self._system = system
+        self._problem = problem
+        self._max_states = max_states
+
+    def check(
+        self, initial_state: GlobalState, input_facet: Simplex
+    ) -> TaskReport:
+        """Check all runs from the initial state of one input facet."""
+        system = self._system
+        problem = self._problem
+        helper = ConsensusChecker(system, self._max_states)
+        parent: dict[GlobalState, Optional[tuple]] = {initial_state: None}
+        queue: deque[GlobalState] = deque([initial_state])
+        terminal: set[GlobalState] = set()
+        edges: dict[GlobalState, list[tuple[Hashable, GlobalState]]] = {}
+
+        problem_detail = self._validity_problem(initial_state, input_facet)
+        if problem_detail is not None:
+            return self._report(
+                Verdict.VALIDITY, input_facet, initial_state, parent,
+                problem_detail, 1,
+            )
+
+        while queue:
+            state = queue.popleft()
+            if helper._all_nonfailed_decided(state):
+                terminal.add(state)
+                continue
+            succs = system.successors(state)
+            edges[state] = succs
+            for action, child in succs:
+                fresh = child not in parent
+                if fresh:
+                    parent[child] = (state, action)
+                    if len(parent) > self._max_states:
+                        raise ExplorationLimitExceeded(
+                            f"more than {self._max_states} states from "
+                            f"{input_facet!r}"
+                        )
+                    queue.append(child)
+                write_once = helper._write_once_problem(state, child)
+                if write_once is not None:
+                    return self._report(
+                        Verdict.WRITE_ONCE, input_facet, child, parent,
+                        write_once, len(parent),
+                    )
+                detail = self._validity_problem(child, input_facet)
+                if detail is not None:
+                    return self._report(
+                        Verdict.VALIDITY, input_facet, child, parent,
+                        detail, len(parent),
+                    )
+
+        lasso = helper._find_undecided_lasso(initial_state, edges, terminal)
+        if lasso is not None:
+            prefix, cycle = lasso
+            return TaskReport(
+                verdict=Verdict.DECISION,
+                input_facet=input_facet,
+                execution=prefix,
+                cycle=cycle,
+                detail=(
+                    "fair infinite run on which some non-failed process "
+                    "never decides"
+                ),
+                states_explored=len(parent),
+            )
+        return TaskReport(
+            verdict=Verdict.SATISFIED,
+            input_facet=None,
+            execution=None,
+            cycle=None,
+            detail="all runs decide and are valid",
+            states_explored=len(parent),
+        )
+
+    def check_all(self, model) -> TaskReport:
+        """Check every input facet of the problem."""
+        total = 0
+        facets = sorted(self._problem.input_facets(), key=repr)
+        for facet in facets:
+            assignment = [facet.value_of(i) for i in range(self._problem.n)]
+            report = self.check(model.initial_state(assignment), facet)
+            total += report.states_explored
+            if not report.satisfied:
+                return report
+        return TaskReport(
+            verdict=Verdict.SATISFIED,
+            input_facet=None,
+            execution=None,
+            cycle=None,
+            detail=f"all {len(facets)} input facets decide and are valid",
+            states_explored=total,
+        )
+
+    # -- internals ----------------------------------------------------------
+    def decided_simplex(self, state: GlobalState) -> Simplex:
+        """The simplex of decisions made by non-failed processes."""
+        failed = self._system.failed_at(state)
+        return Simplex(
+            (i, v)
+            for i, v in self._system.decisions(state).items()
+            if i not in failed
+        )
+
+    def _validity_problem(
+        self, state: GlobalState, input_facet: Simplex
+    ) -> Optional[str]:
+        decided = self.decided_simplex(state)
+        if not self._problem.acceptable(input_facet, decided):
+            return (
+                f"decided simplex {decided!r} not acceptable for input "
+                f"{input_facet!r}"
+            )
+        return None
+
+    def _report(
+        self,
+        verdict: Verdict,
+        input_facet: Simplex,
+        state: GlobalState,
+        parent: dict,
+        detail: str,
+        explored: int,
+    ) -> TaskReport:
+        from repro.core.checker import _path_to
+
+        return TaskReport(
+            verdict=verdict,
+            input_facet=input_facet,
+            execution=_path_to(state, parent),
+            cycle=None,
+            detail=detail,
+            states_explored=explored,
+        )

@@ -1,0 +1,97 @@
+"""s-diameters and the composition bounds (Lemma 7.6, Theorem 7.7).
+
+The *s-diameter* of a set of states is the diameter of its similarity
+graph.  Lemma 7.6 composes diameters across a layer: if ``X`` is
+s-connected with diameter ``d_X``, every layer ``S(x)`` is s-connected
+with diameter at most ``d_Y``, and the crash-display property holds, then
+``S(X)`` is s-connected with diameter at most
+``d_X * d_Y + d_X + d_Y``.
+
+Theorem 7.7 iterates the bound over the ``t`` rounds of ``S^t`` with the
+per-layer bound ``d_Y^m = 2(n - m)`` (the similarity chain across
+``S_1(x)`` has ``n+1`` distinct states per afflicted process and the
+chain walks down and back up), yielding the recurrence
+
+    d_X^{m+1} = d_X^m * d_Y^m + d_X^m + d_Y^m
+
+whose explosion is exactly why *bounded-diameter* output complexes
+separate t-round synchronous solvability from 1-resilient asynchronous
+solvability.  :func:`theorem_7_7_series` tabulates it; the experiment
+drivers compare measured diameters against the bound.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.similarity import s_diameter, similarity_graph
+from repro.core.state import GlobalState
+from repro.util.graphs import is_connected
+
+
+def lemma_7_6_bound(d_x: int, d_y: int) -> int:
+    """The composed diameter bound ``d_X d_Y + d_X + d_Y``."""
+    return d_x * d_y + d_x + d_y
+
+
+def layer_image(system, states: Iterable[GlobalState]) -> list[GlobalState]:
+    """``S(X)``: all successors of all states of X, deduplicated."""
+    out: dict[GlobalState, None] = {}
+    for state in states:
+        for _, child in system.successors(state):
+            out.setdefault(child)
+    return list(out)
+
+
+def measured_layer_diameters(
+    system, states: Sequence[GlobalState]
+) -> tuple[int, int, int]:
+    """Measure ``(d_X, max_x d_{S(x)}, d_{S(X)})`` for a concrete set.
+
+    Raises ``ValueError`` if any of the three graphs is disconnected —
+    callers check connectivity preconditions first.
+    """
+    d_x = s_diameter(states, system) if len(states) > 1 else 0
+    d_y = 0
+    for state in states:
+        layer = [child for _, child in system.successors(state)]
+        layer = list(dict.fromkeys(layer))
+        if len(layer) > 1:
+            d_y = max(d_y, s_diameter(layer, system))
+    image = layer_image(system, states)
+    d_image = s_diameter(image, system) if len(image) > 1 else 0
+    return d_x, d_y, d_image
+
+
+def check_lemma_7_6(system, states: Sequence[GlobalState]) -> dict:
+    """Measure the three diameters and verify the composition bound.
+
+    Returns a report dict with the measured values, the bound, and the
+    verdict; raises ``ValueError`` when connectivity preconditions fail.
+    """
+    states = list(dict.fromkeys(states))
+    if not is_connected(similarity_graph(states, system)):
+        raise ValueError("Lemma 7.6 precondition: X is not s-connected")
+    d_x, d_y, d_image = measured_layer_diameters(system, states)
+    bound = lemma_7_6_bound(d_x, d_y)
+    return {
+        "d_X": d_x,
+        "d_Y": d_y,
+        "d_S(X)": d_image,
+        "bound": bound,
+        "holds": d_image <= bound,
+    }
+
+
+def theorem_7_7_series(n: int, t: int, d_initial: int) -> list[int]:
+    """The diameter-bound series ``d_X^0 .. d_X^t`` of Theorem 7.7.
+
+    ``d_X^0 = d(I)`` (the initial set's s-diameter) and per round ``m``:
+    ``d_X^{m+1} = d_X^m * d_Y^m + d_X^m + d_Y^m`` with
+    ``d_Y^m = 2(n - m)``.
+    """
+    series = [d_initial]
+    for m in range(t):
+        d_y = 2 * (n - m)
+        series.append(lemma_7_6_bound(series[-1], d_y))
+    return series

@@ -1,0 +1,129 @@
+"""Vertices and simplexes (Section 7).
+
+A *vertex* is a pair ``<i, v>`` of a process id and a value; a *simplex*
+is a set of vertices with pairwise-distinct process ids (so a simplex has
+at most ``n`` vertices); a *k-size-simplex* has exactly ``k`` vertices.
+In a run, the *input simplex* records the processes' initial inputs and an
+*output simplex* the decisions taken by a set of processes.
+
+``Simplex`` is a thin immutable wrapper over a frozenset of vertices with
+the distinct-ids invariant enforced and the handful of operations the
+Section 7 machinery needs (faces, restriction, value/id views).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from itertools import combinations
+
+
+class Simplex:
+    """An immutable simplex: vertices ``(process_id, value)`` with
+    pairwise-distinct process ids."""
+
+    __slots__ = ("_vertices", "_hash")
+
+    def __init__(self, vertices: Iterable[tuple[int, Hashable]] = ()) -> None:
+        vs = frozenset((int(i), v) for i, v in vertices)
+        ids = [i for i, _ in vs]
+        if len(ids) != len(set(ids)):
+            raise ValueError(f"duplicate process ids in simplex: {sorted(vs)!r}")
+        self._vertices = vs
+        self._hash = hash(vs)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[int, Hashable]) -> "Simplex":
+        """Build a simplex from a ``{process: value}`` mapping."""
+        return cls(mapping.items())
+
+    @classmethod
+    def from_values(cls, values: Iterable[Hashable]) -> "Simplex":
+        """Build the simplex assigning ``values[i]`` to process ``i``."""
+        return cls(enumerate(values))
+
+    # -- set-like interface --------------------------------------------------
+    @property
+    def vertices(self) -> frozenset[tuple[int, Hashable]]:
+        return self._vertices
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __iter__(self) -> Iterator[tuple[int, Hashable]]:
+        return iter(sorted(self._vertices))
+
+    def __contains__(self, vertex: tuple[int, Hashable]) -> bool:
+        return vertex in self._vertices
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Simplex) and self._vertices == other._vertices
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __le__(self, other: "Simplex") -> bool:
+        """Face relation: self is a face of other."""
+        return self._vertices <= other._vertices
+
+    def __lt__(self, other: "Simplex") -> bool:
+        return self._vertices < other._vertices
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"<{i},{v!r}>" for i, v in sorted(self._vertices))
+        return f"Simplex({{{inner}}})"
+
+    # -- structure -------------------------------------------------------------
+    def ids(self) -> frozenset[int]:
+        """The process ids carried by this simplex."""
+        return frozenset(i for i, _ in self._vertices)
+
+    def values(self) -> frozenset:
+        """The (distinct) values carried by this simplex."""
+        return frozenset(v for _, v in self._vertices)
+
+    def value_of(self, i: int) -> Hashable:
+        """The value carried by process *i* (KeyError if absent)."""
+        for pid, v in self._vertices:
+            if pid == i:
+                return v
+        raise KeyError(f"process {i} not in {self!r}")
+
+    def as_mapping(self) -> dict[int, Hashable]:
+        """The simplex as a ``{process: value}`` dict."""
+        return {i: v for i, v in self._vertices}
+
+    def restrict(self, ids: Iterable[int]) -> "Simplex":
+        """The face spanned by the given process ids (missing ids ignored)."""
+        keep = set(ids)
+        return Simplex((i, v) for i, v in self._vertices if i in keep)
+
+    def without(self, i: int) -> "Simplex":
+        """The face dropping process *i*'s vertex (if present)."""
+        return Simplex((pid, v) for pid, v in self._vertices if pid != i)
+
+    def union(self, other: "Simplex") -> "Simplex":
+        """The union — raises if the ids overlap with conflicting values."""
+        merged = dict(self.as_mapping())
+        for i, v in other._vertices:
+            if i in merged and merged[i] != v:
+                raise ValueError(
+                    f"conflicting values for process {i}: {merged[i]!r} vs {v!r}"
+                )
+            merged[i] = v
+        return Simplex(merged.items())
+
+    def intersection(self, other: "Simplex") -> "Simplex":
+        """The largest common face."""
+        return Simplex(self._vertices & other._vertices)
+
+    def faces(self, size: int | None = None) -> Iterator["Simplex"]:
+        """All faces (optionally only those of the given size), including
+        the empty simplex and self."""
+        vs = sorted(self._vertices)
+        sizes = range(len(vs) + 1) if size is None else (size,)
+        for k in sizes:
+            for combo in combinations(vs, k):
+                yield Simplex(combo)
+
+
+EMPTY_SIMPLEX = Simplex()

@@ -1,0 +1,164 @@
+"""k-thick-connectivity (Section 7).
+
+An n-size-complex ``C`` is *k-thick-connected* when every pair of its
+n-size-simplexes is linked by a sequence of n-size-simplexes in which
+every two consecutive ones share an ``(n-k)``-size-simplex.  A decision
+problem is k-thick-connected when **some subproblem** ``Δ'`` makes
+``C_Δ'(I)`` k-thick-connected for *every* similarity-connected set ``I``
+of initial states.
+
+This is the combinatorial side of the paper's characterization: consensus
+fails it (the all-0 and all-1 output facets share nothing), while tasks
+like 2-set agreement pass, and Theorem 7.2 / Corollary 7.3 tie the
+property to 1-resilient solvability in each of the paper's models.
+
+Similarity-connected sets of initial states correspond exactly to
+connected sets of input facets under the 1-thick adjacency (two input
+assignments differing in a single process's value are similar via that
+process), so the quantification over ``I`` is a quantification over
+connected subgraphs of the input facet graph — enumerable for the small
+catalog tasks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.tasks.complex import Complex
+from repro.tasks.problem import DecisionProblem
+from repro.tasks.simplex import Simplex
+from repro.util.graphs import Graph, is_connected
+
+
+def thick_graph(complex_: Complex, n: int, k: int) -> Graph:
+    """The graph over n-size-simplexes with edges for pairs sharing an
+    (n-k)-size face."""
+    facets = sorted(complex_.size_simplexes(n), key=repr)
+    graph = Graph(vertices=facets)
+    for a in range(len(facets)):
+        for b in range(a + 1, len(facets)):
+            if len(facets[a].intersection(facets[b])) >= n - k:
+                graph.add_edge(facets[a], facets[b])
+    return graph
+
+
+def is_k_thick_connected(complex_: Complex, n: int, k: int) -> bool:
+    """Whether the complex's n-size-simplexes form one k-thick component.
+
+    A complex with no n-size-simplexes at all is vacuously connected; a
+    single facet likewise.
+    """
+    return is_connected(thick_graph(complex_, n, k))
+
+
+def input_adjacency_graph(problem: DecisionProblem) -> Graph:
+    """Input facets with edges between assignments differing at one
+    process — the combinatorial mirror of initial-state similarity."""
+    return thick_graph(problem.inputs, problem.n, 1)
+
+
+def similarity_connected_input_sets(
+    problem: DecisionProblem, max_size: int | None = None
+) -> Iterator[frozenset[Simplex]]:
+    """All nonempty connected sets of input facets (≤ ``max_size``).
+
+    Exponential in the number of input facets; the catalog tasks keep
+    this small.  Enumeration grows connected sets one adjacent facet at a
+    time, deduplicating via a seen-set, so every connected subset is
+    produced exactly once.
+    """
+    graph = input_adjacency_graph(problem)
+    facets = sorted(graph.vertices(), key=repr)
+    seen: set[frozenset[Simplex]] = set()
+    frontier: list[frozenset[Simplex]] = []
+    for f in facets:
+        singleton = frozenset({f})
+        seen.add(singleton)
+        frontier.append(singleton)
+        yield singleton
+    while frontier:
+        current = frontier.pop()
+        if max_size is not None and len(current) >= max_size:
+            continue
+        neighbors: set[Simplex] = set()
+        for member in current:
+            neighbors |= graph.neighbors(member)
+        for nxt in neighbors - current:
+            grown = current | {nxt}
+            if grown not in seen:
+                seen.add(grown)
+                frontier.append(grown)
+                yield grown
+
+
+def problem_is_k_thick_connected(
+    problem: DecisionProblem,
+    k: int,
+    max_subproblems: int = 4096,
+    max_input_set_size: int | None = None,
+) -> bool:
+    """The paper's task-level property: some subproblem ``Δ'`` makes
+    ``C_Δ'(I)`` k-thick-connected for every similarity-connected ``I``.
+
+    Strategy: try ``Δ`` itself first (most solvable tasks pass without
+    restriction), then fall back to exhaustive facet-choice subproblem
+    enumeration (capped; the cap raises rather than silently truncating,
+    so a ``False`` from this function is a genuine exhaustion of the
+    subproblem space).
+
+    For tasks with many input facets, ``max_input_set_size`` bounds the
+    size of the similarity-connected input sets enumerated (the full set
+    is always included as well).  Any failing set refutes connectivity
+    soundly; with the size bound the positive direction is exhaustive
+    only up to the bound — the small catalog tasks are checked unbounded.
+    """
+    return (
+        witnessing_subproblem(
+            problem, k, max_subproblems, max_input_set_size
+        )
+        is not None
+    )
+
+
+def _subproblem_uniformly_connected(
+    problem: DecisionProblem, k: int, max_input_set_size: int | None
+) -> bool:
+    for input_set in similarity_connected_input_sets(
+        problem, max_input_set_size
+    ):
+        c_delta = problem.delta_complex(input_set)
+        if not is_k_thick_connected(c_delta, problem.n, k):
+            return False
+    if max_input_set_size is not None:
+        full = problem.input_facets()
+        if len(full) > max_input_set_size:
+            c_delta = problem.delta_complex(full)
+            if not is_k_thick_connected(c_delta, problem.n, k):
+                return False
+    return True
+
+
+def witnessing_subproblem(
+    problem: DecisionProblem,
+    k: int,
+    max_subproblems: int = 4096,
+    max_input_set_size: int | None = None,
+) -> DecisionProblem | None:
+    """The first subproblem witnessing k-thick-connectivity, or None.
+
+    ``Δ`` itself is tried first; the enumeration then revisits it among
+    the subproblems (harmlessly — it is its own maximal subproblem).
+    """
+    if _subproblem_uniformly_connected(problem, k, max_input_set_size):
+        return problem
+    count = 0
+    for sub in problem.subproblems():
+        count += 1
+        if count > max_subproblems:
+            raise RuntimeError(
+                f"more than {max_subproblems} subproblems; "
+                "raise max_subproblems for this task"
+            )
+        if _subproblem_uniformly_connected(sub, k, max_input_set_size):
+            return sub
+    return None

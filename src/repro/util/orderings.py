@@ -1,0 +1,85 @@
+"""Permutation helpers for the permutation layering (Section 5.1).
+
+The valence-connectivity argument for the permutation layering ``S^per``
+rests on a combinatorial fact: adjacent transpositions span all permutations,
+so any two *full* schedules are linked by a chain of schedules each differing
+in a single adjacent transposition.  This module produces those chains
+explicitly so that the proof's spine can be replayed and tested state by
+state (see :mod:`repro.layerings.permutation`).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def all_permutations(items: Sequence[T]) -> list[tuple[T, ...]]:
+    """All permutations of *items* as tuples, in lexicographic order."""
+    return list(permutations(items))
+
+
+def apply_transposition(perm: Sequence[T], k: int) -> tuple[T, ...]:
+    """Swap positions *k* and *k+1* of *perm* (0-based), returning a tuple."""
+    if not 0 <= k < len(perm) - 1:
+        raise ValueError(f"transposition index {k} out of range for {perm!r}")
+    out = list(perm)
+    out[k], out[k + 1] = out[k + 1], out[k]
+    return tuple(out)
+
+
+def adjacent_transposition_chain(
+    start: Sequence[T], end: Sequence[T]
+) -> list[tuple[T, ...]]:
+    """A chain of permutations from *start* to *end* via adjacent swaps.
+
+    Every two consecutive entries of the returned list differ by exactly one
+    adjacent transposition; the first entry is ``tuple(start)`` and the last
+    is ``tuple(end)``.  Both arguments must be permutations of the same set
+    of distinct items.
+
+    This is the bubble-sort chain: we repeatedly bring ``end``'s next element
+    to its place in ``start`` by adjacent swaps.
+    """
+    start_t, end_t = tuple(start), tuple(end)
+    if set(start_t) != set(end_t) or len(set(start_t)) != len(start_t):
+        raise ValueError("arguments must be permutations of the same distinct items")
+    chain = [start_t]
+    current = list(start_t)
+    for target_pos, item in enumerate(end_t):
+        pos = current.index(item)
+        while pos > target_pos:
+            current[pos - 1], current[pos] = current[pos], current[pos - 1]
+            pos -= 1
+            chain.append(tuple(current))
+    return chain
+
+
+def rotations(items: Sequence[T]) -> list[tuple[T, ...]]:
+    """All cyclic rotations of *items*, starting with ``tuple(items)``."""
+    seq = tuple(items)
+    return [seq[i:] + seq[:i] for i in range(len(seq))]
+
+
+def ordered_partitions(items: Sequence[T]) -> list[tuple[frozenset, ...]]:
+    """All ordered partitions (sequences of disjoint nonempty blocks
+    covering *items*) — the schedules of immediate-snapshot executions.
+
+    The count is the Fubini number: 1, 1, 3, 13, 75, ... for
+    ``len(items) = 0, 1, 2, 3, 4``.  Order within a block is immaterial
+    (blocks are frozensets); order *of* blocks is the schedule.
+    """
+    items = list(items)
+    if not items:
+        return [()]
+    out: list[tuple[frozenset, ...]] = []
+    n = len(items)
+    # choose the first block (any nonempty subset), recurse on the rest
+    for mask in range(1, 1 << n):
+        first = frozenset(items[b] for b in range(n) if mask >> b & 1)
+        rest = [items[b] for b in range(n) if not mask >> b & 1]
+        for tail in ordered_partitions(rest):
+            out.append((first,) + tail)
+    return out

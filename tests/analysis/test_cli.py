@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["lower-bound"])
+        assert args.n == 3 and args.t == 1
+        assert args.max_states == 1_000_000
+
+    def test_global_flag_position(self):
+        args = build_parser().parse_args(
+            ["--max-states", "5000", "lemmas"]
+        )
+        assert args.max_states == 5000
+
+
+class TestCommands:
+    def test_lower_bound(self, capsys):
+        assert main(["lower-bound", "--n", "3", "--t", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "crossover holds" in out
+        assert "agreement-violation" in out
+        assert "satisfied" in out
+
+    def test_impossibility_all_models(self, capsys):
+        assert main(["impossibility", "--protocol", "quorum"]) == 0
+        out = capsys.readouterr().out
+        assert "no candidate survives" in out
+        assert "s1-mobile" in out
+        assert "iis-snapshot" in out
+
+    def test_impossibility_single_model(self, capsys):
+        assert (
+            main(
+                [
+                    "impossibility",
+                    "--protocol",
+                    "waitforall",
+                    "--model",
+                    "permutation-mp",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "decision-violation" in out
+
+    def test_impossibility_unknown_model(self, capsys):
+        assert main(["impossibility", "--model", "bogus"]) == 2
+
+    def test_lemmas(self, capsys):
+        assert main(["lemmas", "--n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3.6" in out and "5.1" in out
+
+    def test_diameter(self, capsys):
+        assert main(["diameter", "--n", "3", "--rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "d_S(X)" in out
+
+    def test_solvability_small(self, capsys):
+        assert (
+            main(
+                [
+                    "--max-states",
+                    "400000",
+                    "solvability",
+                    "--tasks",
+                    "identity,constant",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "identity" in out and "constant" in out

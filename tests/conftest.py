@@ -1,0 +1,150 @@
+"""Shared fixtures: small models, layerings and a synthetic toy system.
+
+The toy system lets the core analyzers (valence, checker, bivalence) be
+tested against hand-computed answers, independently of any real model;
+the real fixtures bind the shipped protocols at n=3, the smallest size at
+which all of the paper's phenomena appear (Section 6 assumes n >= 3).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.state import GlobalState
+
+
+class ToySystem:
+    """An explicit SuccessorSystem over string-labelled states.
+
+    States are ``GlobalState(env="toy", locals=(name,) * n)`` for easy
+    construction; transitions, decisions and failures are given as plain
+    dicts.  Decisions map state-name -> {pid: value}; edges map
+    state-name -> list of (action, state-name).
+    """
+
+    def __init__(
+        self,
+        edges: dict[str, list[tuple[str, str]]],
+        decisions: dict[str, dict[int, object]] | None = None,
+        failed: dict[str, frozenset[int]] | None = None,
+        n: int = 2,
+    ) -> None:
+        self.n = n
+        self._edges = edges
+        self._decisions = decisions or {}
+        self._failed = failed or {}
+
+    def state(self, name: str) -> GlobalState:
+        return GlobalState("toy", (name,) * self.n)
+
+    def _name(self, state: GlobalState) -> str:
+        return state.locals[0]
+
+    def successors(self, state: GlobalState):
+        return [
+            (action, self.state(dest))
+            for action, dest in self._edges.get(self._name(state), [])
+        ]
+
+    def failed_at(self, state: GlobalState) -> frozenset[int]:
+        return self._failed.get(self._name(state), frozenset())
+
+    def decisions(self, state: GlobalState) -> dict[int, object]:
+        return dict(self._decisions.get(self._name(state), {}))
+
+    def nonfaulty_under(self, action) -> frozenset[int]:
+        return frozenset(range(self.n))
+
+    def envs_agree_modulo(self, env_x, env_y, j: int) -> bool:
+        return env_x == env_y
+
+    # similarity helpers look for .model; the toy system is its own model
+    @property
+    def model(self):
+        return self
+
+
+@pytest.fixture
+def toy_diamond():
+    """x -> {a, b}; a -> da (decides 0), b -> db (decides 1).
+
+    x is bivalent; a is 0-univalent; b is 1-univalent.
+    """
+    return ToySystem(
+        edges={
+            "x": [("l", "a"), ("r", "b")],
+            "a": [("d", "da")],
+            "b": [("d", "db")],
+            "da": [("s", "da")],
+            "db": [("s", "db")],
+        },
+        decisions={
+            "da": {0: 0, 1: 0},
+            "db": {0: 1, 1: 1},
+        },
+    )
+
+
+@pytest.fixture
+def toy_cycle_undecided():
+    """x -> c1 -> c2 -> c1 (undecided cycle), plus x -> t (decides 0)."""
+    return ToySystem(
+        edges={
+            "x": [("c", "c1"), ("t", "t")],
+            "c1": [("f", "c2")],
+            "c2": [("b", "c1")],
+            "t": [("s", "t")],
+        },
+        decisions={"t": {0: 0, 1: 0}},
+    )
+
+
+@pytest.fixture
+def mobile_floodset():
+    """FloodSet(2) in the mobile model with its S_1 layering, n=3."""
+    from repro.layerings.s1_mobile import S1MobileLayering
+    from repro.models.mobile import MobileModel
+    from repro.protocols.floodset import FloodSet
+
+    model = MobileModel(FloodSet(2), 3)
+    return S1MobileLayering(model)
+
+
+@pytest.fixture
+def st_floodset_fast():
+    """FloodSet(t=1 round — too fast) under S^t, n=3, t=1."""
+    from repro.analysis.sync_lower_bound import make_st_system
+    from repro.protocols.floodset import FloodSet
+
+    return make_st_system(FloodSet(1), 3, 1)
+
+
+@pytest.fixture
+def st_floodset_tight():
+    """FloodSet(t+1=2 rounds — correct) under S^t, n=3, t=1."""
+    from repro.analysis.sync_lower_bound import make_st_system
+    from repro.protocols.floodset import FloodSet
+
+    return make_st_system(FloodSet(2), 3, 1)
+
+
+@pytest.fixture
+def quorum_permutation():
+    """QuorumDecide(2) under the permutation layering, n=3."""
+    from repro.layerings.permutation import PermutationLayering
+    from repro.models.async_mp import AsyncMessagePassingModel
+    from repro.protocols.candidates import QuorumDecide
+
+    return PermutationLayering(
+        AsyncMessagePassingModel(QuorumDecide(2), 3)
+    )
+
+
+@pytest.fixture
+def quorum_synchronic_rw():
+    """QuorumDecide(2) under S^rw, n=3."""
+    from repro.layerings.synchronic_rw import SynchronicRWLayering
+    from repro.models.shared_memory import SharedMemoryModel
+    from repro.protocols.candidates import QuorumDecide
+
+    return SynchronicRWLayering(SharedMemoryModel(QuorumDecide(2), 3))

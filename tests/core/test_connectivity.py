@@ -1,0 +1,141 @@
+"""Unit tests for valence connectivity and Lemmas 3.3–3.6."""
+
+import pytest
+
+from repro.core.connectivity import (
+    con0_chain,
+    find_bivalent,
+    is_valence_connected,
+    lemma_3_3_edges,
+    lemma_3_4,
+    lemma_3_5,
+    lemma_3_6,
+    shared_valence,
+    valence_graph,
+)
+from repro.core.state import GlobalState, agree_modulo
+from repro.core.valence import ValenceAnalyzer
+from tests.conftest import ToySystem
+
+
+@pytest.fixture
+def diamond_with_analyzer(toy_diamond):
+    return toy_diamond, ValenceAnalyzer(toy_diamond)
+
+
+class TestSharedValence:
+    def test_bivalent_shares_with_univalent(self, diamond_with_analyzer):
+        sys, an = diamond_with_analyzer
+        assert shared_valence(sys.state("x"), sys.state("a"), an)
+        assert shared_valence(sys.state("x"), sys.state("b"), an)
+
+    def test_opposite_univalents_do_not_share(self, diamond_with_analyzer):
+        sys, an = diamond_with_analyzer
+        assert not shared_valence(sys.state("a"), sys.state("b"), an)
+
+
+class TestValenceGraph:
+    def test_graph_connected_through_bivalent(self, diamond_with_analyzer):
+        sys, an = diamond_with_analyzer
+        states = [sys.state(s) for s in ("a", "x", "b")]
+        assert is_valence_connected(states, an)
+
+    def test_disconnected_without_bivalent(self, diamond_with_analyzer):
+        sys, an = diamond_with_analyzer
+        states = [sys.state("a"), sys.state("b")]
+        assert not is_valence_connected(states, an)
+
+    def test_all_same_value_connected(self, diamond_with_analyzer):
+        sys, an = diamond_with_analyzer
+        assert is_valence_connected([sys.state("a"), sys.state("da")], an)
+
+    def test_edge_count(self, diamond_with_analyzer):
+        sys, an = diamond_with_analyzer
+        g = valence_graph([sys.state(s) for s in ("a", "x", "b")], an)
+        assert g.edge_count() == 2
+
+
+class TestLemma34:
+    def test_returns_bivalent(self, diamond_with_analyzer):
+        sys, an = diamond_with_analyzer
+        states = [sys.state(s) for s in ("a", "x", "b")]
+        assert lemma_3_4(states, an) == sys.state("x")
+
+    def test_none_when_single_value(self, diamond_with_analyzer):
+        sys, an = diamond_with_analyzer
+        assert lemma_3_4([sys.state("a"), sys.state("da")], an) is None
+
+    def test_none_when_disconnected(self, diamond_with_analyzer):
+        sys, an = diamond_with_analyzer
+        assert lemma_3_4([sys.state("a"), sys.state("b")], an) is None
+
+    def test_find_bivalent(self, diamond_with_analyzer):
+        sys, an = diamond_with_analyzer
+        assert find_bivalent([sys.state("a"), sys.state("x")], an) == sys.state("x")
+        assert find_bivalent([sys.state("a")], an) is None
+
+
+class TestCon0Chain:
+    def test_endpoints_and_steps(self):
+        x = GlobalState("e", ("a0", "a1", "a2"))
+        y = GlobalState("e", ("b0", "b1", "b2"))
+        chain = con0_chain(x, y)
+        assert chain[0] == x
+        assert chain[-1] == y
+        assert len(chain) == 4
+        for k, (a, b) in enumerate(zip(chain, chain[1:])):
+            # chain walks boundary n..0: step k flips process n-1-k
+            assert agree_modulo(a, b, x.n - 1 - k)
+
+    def test_env_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            con0_chain(
+                GlobalState("e", ("a",)), GlobalState("f", ("b",))
+            )
+
+    def test_identical_states(self):
+        x = GlobalState("e", ("a", "b"))
+        chain = con0_chain(x, x)
+        assert all(s == x for s in chain)
+
+
+class TestLemmasOnRealModel:
+    """Lemmas 3.3/3.5/3.6 on the S_1 mobile system with FloodSet(2)."""
+
+    def test_lemma_3_3_no_violations_on_initials(self, mobile_floodset):
+        an = ValenceAnalyzer(mobile_floodset)
+        initials = mobile_floodset.model.initial_states((0, 1))
+        assert lemma_3_3_edges(initials, mobile_floodset, an) == []
+
+    def test_lemma_3_5_con0(self, mobile_floodset):
+        an = ValenceAnalyzer(mobile_floodset)
+        initials = mobile_floodset.model.initial_states((0, 1))
+        assert lemma_3_5(initials, mobile_floodset, an)
+
+    def test_lemma_3_6_bivalent_initial(self, mobile_floodset):
+        an = ValenceAnalyzer(mobile_floodset)
+        initials = mobile_floodset.model.initial_states((0, 1))
+        bivalent = lemma_3_6(initials, mobile_floodset, an)
+        result = an.valence(bivalent)
+        assert result.bivalent
+
+    def test_unanimous_initials_univalent(self, mobile_floodset):
+        an = ValenceAnalyzer(mobile_floodset)
+        model = mobile_floodset.model
+        zero = model.initial_state((0, 0, 0))
+        one = model.initial_state((1, 1, 1))
+        assert an.valence(zero).univalent_value() == 0
+        assert an.valence(one).univalent_value() == 1
+
+    def test_lemma_3_5_raises_on_disconnected_precondition(
+        self, mobile_floodset
+    ):
+        an = ValenceAnalyzer(mobile_floodset)
+        model = mobile_floodset.model
+        # two opposite unanimous corners are not similarity connected alone
+        corners = [
+            model.initial_state((0, 0, 0)),
+            model.initial_state((1, 1, 1)),
+        ]
+        with pytest.raises(ValueError):
+            lemma_3_5(corners, mobile_floodset, an)

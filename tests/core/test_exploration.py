@@ -1,0 +1,77 @@
+"""Unit tests for reachability exploration and statistics."""
+
+import pytest
+
+from repro.core.exploration import explore, reachable_states
+from repro.core.valence import ExplorationLimitExceeded
+from tests.conftest import ToySystem
+
+
+@pytest.fixture
+def chain_system():
+    edges = {f"s{i}": [("n", f"s{i+1}")] for i in range(5)}
+    edges["s5"] = [("s", "s5")]
+    return ToySystem(edges=edges)
+
+
+class TestReachableStates:
+    def test_depths(self, chain_system):
+        sys = chain_system
+        depths = reachable_states(sys, [sys.state("s0")])
+        assert depths[sys.state("s0")] == 0
+        assert depths[sys.state("s5")] == 5
+        assert len(depths) == 6
+
+    def test_max_depth(self, chain_system):
+        sys = chain_system
+        depths = reachable_states(sys, [sys.state("s0")], max_depth=2)
+        assert len(depths) == 3
+
+    def test_multiple_roots_deduped(self, chain_system):
+        sys = chain_system
+        depths = reachable_states(
+            sys, [sys.state("s0"), sys.state("s0"), sys.state("s3")]
+        )
+        assert depths[sys.state("s3")] == 0
+
+    def test_limit(self, chain_system):
+        sys = chain_system
+        with pytest.raises(ExplorationLimitExceeded):
+            reachable_states(sys, [sys.state("s0")], max_states=2)
+
+
+class TestExplore:
+    def test_stats_shape(self, chain_system):
+        sys = chain_system
+        stats = explore(sys, [sys.state("s0")])
+        assert stats.states == 6
+        assert stats.depth_reached == 5
+        assert stats.frontier_sizes == [1] * 6
+        assert stats.min_layer_size == 1
+        assert stats.max_layer_size == 1
+
+    def test_sharing_ratio(self):
+        # x has two actions to the same child: one duplicate edge at the
+        # set level is collapsed per state, but both a and b lead to c.
+        sys = ToySystem(
+            edges={
+                "x": [("l", "a"), ("r", "b")],
+                "a": [("n", "c")],
+                "b": [("n", "c")],
+                "c": [("s", "c")],
+            }
+        )
+        stats = explore(sys, [sys.state("x")])
+        assert stats.duplicate_hits >= 1
+        assert 0 < stats.sharing_ratio < 1
+
+    def test_real_layering_stats(self, mobile_floodset):
+        layering = mobile_floodset
+        stats = explore(
+            layering,
+            [layering.model.initial_state((0, 1, 1))],
+            max_depth=2,
+        )
+        assert stats.states > 1
+        # S_1 has n(n+1) = 12 actions but duplicates collapse
+        assert stats.max_layer_size <= 12

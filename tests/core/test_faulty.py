@@ -1,0 +1,126 @@
+"""Unit tests for crash display and fault independence, across models."""
+
+import pytest
+
+from repro.core.faulty import (
+    agree_modulo_refined,
+    check_crash_display,
+    check_fault_independence,
+    crash_continuation,
+    displays_no_finite_failure,
+    failure_free_continuation,
+)
+from repro.core.similarity import similarity_witnesses
+from repro.layerings.s1_mobile import S1MobileLayering
+from repro.layerings.synchronic_rw import SynchronicRWLayering
+from repro.models.async_mp import AsyncMessagePassingModel
+from repro.models.mobile import MobileModel, prefix_action
+from repro.models.shared_memory import SharedMemoryModel
+from repro.models.sync import SynchronousModel
+from repro.protocols.candidates import QuorumDecide
+from repro.protocols.floodset import FloodSet
+from repro.protocols.full_information import FullInformationProtocol
+
+
+def all_models(n=3):
+    fi = FullInformationProtocol(phases=3)
+    return {
+        "mobile": MobileModel(fi, n),
+        "sync": SynchronousModel(fi, n, 1),
+        "rw": SharedMemoryModel(fi, n),
+        "amp": AsyncMessagePassingModel(fi, n),
+    }
+
+
+class TestContinuations:
+    @pytest.mark.parametrize("name", ["mobile", "sync", "rw", "amp"])
+    def test_crash_continuation_actions_are_enabled(self, name):
+        from itertools import islice
+
+        model = all_models()[name]
+        state = model.initial_state((0, 1, 1))
+        from repro.core.faulty import apply_continuation
+
+        trace = apply_continuation(
+            model, state, crash_continuation(model, 2), 12
+        )
+        assert len(trace) == 13
+
+    @pytest.mark.parametrize("name", ["mobile", "sync", "rw", "amp"])
+    def test_fault_independence(self, name):
+        model = all_models()[name]
+        state = model.initial_state((0, 1, 1))
+        assert check_fault_independence(model, state)
+
+    def test_fault_independence_after_failure(self):
+        model = all_models()["sync"]
+        state = model.initial_state((0, 1, 1))
+        # fail process 0 fully
+        action = frozenset({(0, frozenset({1, 2}))})
+        failed_state = model.apply(state, action)
+        assert model.failed_at(failed_state) == frozenset({0})
+        assert check_fault_independence(model, failed_state)
+
+
+class TestNoFiniteFailure:
+    def test_async_models_display_no_finite_failure(self):
+        models = all_models()
+        for name in ("mobile", "rw", "amp"):
+            model = models[name]
+            states = [
+                model.initial_state((0, 1, 1)),
+                model.initial_state((1, 0, 1)),
+            ]
+            assert displays_no_finite_failure(model, states)
+
+    def test_sync_model_records_failures(self):
+        model = all_models()["sync"]
+        state = model.initial_state((0, 1, 1))
+        action = frozenset({(1, frozenset({0}))})
+        assert model.failed_at(model.apply(state, action)) == frozenset({1})
+
+
+class TestCrashDisplay:
+    def test_mobile_layer_pairs(self):
+        """The S_1 chain pairs display an arbitrary crash failure."""
+        layering = S1MobileLayering(MobileModel(FloodSet(2), 3))
+        x0 = layering.model.initial_state((0, 1, 1))
+        for j in range(3):
+            for k in range(3):
+                a = layering.apply(x0, prefix_action(j, k))
+                b = layering.apply(x0, prefix_action(j, k + 1))
+                if a == b:
+                    continue
+                witnesses = similarity_witnesses(a, b, layering)
+                assert witnesses, (j, k)
+                w = min(witnesses)
+                assert check_crash_display(layering, a, b, w, steps=10)
+
+    def test_rw_initial_pairs(self):
+        layering = SynchronicRWLayering(
+            SharedMemoryModel(QuorumDecide(2), 3)
+        )
+        model = layering.model
+        a = model.initial_state((0, 1, 1))
+        b = model.initial_state((1, 1, 1))
+        assert check_crash_display(layering, a, b, 0, steps=12)
+
+    def test_rejects_non_agreeing_pair(self):
+        layering = S1MobileLayering(MobileModel(FloodSet(2), 3))
+        a = layering.model.initial_state((0, 1, 1))
+        b = layering.model.initial_state((1, 0, 1))  # differ at 2 processes
+        with pytest.raises(ValueError):
+            check_crash_display(layering, a, b, 0)
+
+    def test_agree_modulo_refined_sync(self):
+        model = SynchronousModel(FloodSet(2), 3, 1)
+        x0 = model.initial_state((0, 1, 1))
+        # fail 0 partially vs no failure: states agree modulo 0 under the
+        # refined comparison iff only process 0's receipt set changed...
+        clean = model.apply(x0, frozenset())
+        failed = model.apply(x0, frozenset({(0, frozenset({1}))}))
+        # process 1 differs too (it missed 0's message) — not modulo 0.
+        assert not agree_modulo_refined(model, clean, failed, 0)
+        # but modulo 1 the envs differ only by 0's failure record, which
+        # is NOT discounted for witness 1:
+        assert not agree_modulo_refined(model, clean, failed, 1)

@@ -1,0 +1,151 @@
+"""Unit tests for executions, run witnesses and pasting."""
+
+import pytest
+
+from repro.core.run import Execution, RunWitness, paste, pasting_violations
+from repro.core.state import GlobalState
+
+
+def st(name):
+    return GlobalState("toy", (name,))
+
+
+def ex(*names):
+    states = tuple(st(n) for n in names)
+    actions = tuple(f"{a}->{b}" for a, b in zip(names, names[1:]))
+    return Execution(states, actions)
+
+
+class TestExecution:
+    def test_singleton(self):
+        e = Execution((st("x"),))
+        assert e.length == 0
+        assert e.initial == e.final == st("x")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Execution(())
+
+    def test_action_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Execution((st("a"), st("b")), ())
+
+    def test_extend(self):
+        e = ex("a").extend("go", st("b"))
+        assert e.length == 1
+        assert e.final == st("b")
+        assert e.actions == ("go",)
+
+    def test_concat(self):
+        left, right = ex("a", "b"), ex("b", "c")
+        joined = left.concat(right)
+        assert [s.locals[0] for s in joined] == ["a", "b", "c"]
+
+    def test_concat_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ex("a", "b").concat(ex("c", "d"))
+
+    def test_prefix_suffix(self):
+        e = ex("a", "b", "c")
+        assert e.prefix(1).final == st("b")
+        assert e.suffix(1).initial == st("b")
+        assert e.prefix(0).length == 0
+        assert e.suffix(e.length).length == 0
+
+    def test_prefix_out_of_range(self):
+        with pytest.raises(ValueError):
+            ex("a", "b").prefix(5)
+
+    def test_transitions(self):
+        e = ex("a", "b", "c")
+        triples = list(e.transitions())
+        assert len(triples) == 2
+        assert triples[0] == (st("a"), "a->b", st("b"))
+
+    def test_len_iter(self):
+        e = ex("a", "b")
+        assert len(e) == 2
+        assert list(e) == [st("a"), st("b")]
+
+
+class TestRunWitness:
+    def make(self):
+        prefix = ex("a", "b")
+        cycle = ex("b", "c", "b")
+        return RunWitness(prefix, cycle)
+
+    def test_state_at_prefix(self):
+        w = self.make()
+        assert w.state_at(0) == st("a")
+        assert w.state_at(1) == st("b")
+
+    def test_state_at_wraps(self):
+        w = self.make()
+        assert w.state_at(2) == st("c")
+        assert w.state_at(3) == st("b")
+        assert w.state_at(4) == st("c")
+        assert w.state_at(101) == st("b") if (101 - 1) % 2 == 0 else True
+
+    def test_action_at(self):
+        w = self.make()
+        assert w.action_at(0) == "a->b"
+        assert w.action_at(1) == "b->c"
+        assert w.action_at(2) == "c->b"
+        assert w.action_at(3) == "b->c"
+
+    def test_finite_prefix_consistent(self):
+        w = self.make()
+        unrolled = w.finite_prefix(6)
+        for k in range(7):
+            assert unrolled.states[k] == w.state_at(k)
+
+    def test_cycle_must_close(self):
+        with pytest.raises(ValueError):
+            RunWitness(ex("a", "b"), ex("b", "c"))
+
+    def test_cycle_must_start_at_prefix_end(self):
+        with pytest.raises(ValueError):
+            RunWitness(ex("a", "b"), ex("c", "c"))
+
+    def test_cycle_must_be_nonempty(self):
+        with pytest.raises(ValueError):
+            RunWitness(ex("a", "b"), Execution((st("b"),)))
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().state_at(-1)
+
+
+class TestPaste:
+    def test_paste_at_shared_state(self):
+        r = ex("a", "b", "c")
+        r2 = ex("x", "b", "y")
+        pasted = paste(r, 1, r2, 1)
+        assert [s.locals[0] for s in pasted] == ["a", "b", "y"]
+
+    def test_paste_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            paste(ex("a", "b"), 0, ex("c", "d"), 0)
+
+    def test_pasting_violations_on_closed_set(self):
+        execs = [ex("a", "b"), ex("b", "c"), ex("a", "b", "c")]
+        allowed = {("a", "b"), ("b", "c")}
+
+        def member(e):
+            return all(
+                (u.locals[0], v.locals[0]) in allowed
+                for u, _, v in e.transitions()
+            )
+
+        assert pasting_violations(execs, member) == []
+
+    def test_pasting_violations_detected(self):
+        # "b" appears in both, but pasting a->b with b->z is not a member.
+        execs = [ex("a", "b"), ex("b", "z")]
+
+        def member(e):
+            names = tuple(s.locals[0] for s in e.states)
+            return names in {("a", "b"), ("b", "z")}
+
+        violations = pasting_violations(execs, member)
+        assert violations  # pasting produced an execution outside the set

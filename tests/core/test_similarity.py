@@ -1,0 +1,143 @@
+"""Unit tests for the similarity relation, including env refinements."""
+
+from repro.core.similarity import (
+    is_similarity_connected,
+    s_diameter,
+    similar,
+    similarity_graph,
+    similarity_witnesses,
+)
+from repro.core.state import GlobalState
+from repro.models.async_mp import AsyncMessagePassingModel, mp_env
+from repro.models.sync import SynchronousModel, sync_env
+from repro.protocols.floodset import FloodSet
+from tests.conftest import ToySystem
+
+
+def gs(env, *locals_):
+    return GlobalState(env, tuple(locals_))
+
+
+class TestWitnesses:
+    def setup_method(self):
+        self.sys = ToySystem(edges={}, n=3)
+
+    def test_single_difference(self):
+        x, y = gs("toy", "a", "b", "c"), gs("toy", "a", "z", "c")
+        assert similarity_witnesses(x, y, self.sys) == frozenset({1})
+
+    def test_equal_states_every_witness(self):
+        x = gs("toy", "a", "b", "c")
+        assert similarity_witnesses(x, x, self.sys) == frozenset({0, 1, 2})
+
+    def test_two_differences_not_similar(self):
+        x, y = gs("toy", "a", "b", "c"), gs("toy", "z", "w", "c")
+        assert not similar(x, y, self.sys)
+
+    def test_env_difference_not_similar_by_default(self):
+        x, y = gs("e1", "a", "b", "c"), gs("e2", "a", "b", "c")
+        assert not similar(x, y, self.sys)
+
+    def test_witness_condition_needs_other_nonfailed(self):
+        # n=2: witness j needs some i != j non-failed in both states.
+        sys2 = ToySystem(
+            edges={},
+            failed={"a": frozenset({0})},
+            n=2,
+        )
+        x = GlobalState("toy", ("a", "a"))
+        y = GlobalState("toy", ("a", "b"))
+        # differ at process 1 -> witness must be 1; process 0 is failed
+        # at x, so condition (ii) fails.
+        assert similarity_witnesses(x, y, sys2) == frozenset()
+
+
+class TestSyncEnvRefinement:
+    """The Section 6 refinement: failure records compared modulo j."""
+
+    def setup_method(self):
+        self.model = SynchronousModel(FloodSet(2), 3, 1)
+
+    def test_failed_record_discounted_for_witness(self):
+        assert self.model.envs_agree_modulo(
+            sync_env(frozenset({1})), sync_env(frozenset()), 1
+        )
+
+    def test_other_failures_still_compared(self):
+        assert not self.model.envs_agree_modulo(
+            sync_env(frozenset({2})), sync_env(frozenset()), 1
+        )
+
+    def test_equal_records_always_agree(self):
+        # Budget is NOT similarity's business (it gates the crash
+        # display, not Definition 3.1): equal records agree modulo any
+        # witness even when failing the witness would exceed t.
+        assert self.model.envs_agree_modulo(
+            sync_env(frozenset({2})), sync_env(frozenset({2})), 1
+        )
+
+    def test_display_fails_at_budget_edge(self):
+        """...but the crash-display property genuinely fails there: with
+        the budget spent, j cannot be silenced, so the continuation
+        cannot keep the states agreeing modulo j."""
+        from repro.core.faulty import check_crash_display
+        from repro.models.sync import fail_action
+
+        model = SynchronousModel(FloodSet(2), 3, 1)
+        base = model.initial_state((0, 1, 1))
+        x = model.apply(base, fail_action((0, frozenset({1}))))
+        y = model.apply(base, fail_action((0, frozenset({1, 2}))))
+        # x, y agree modulo 2 (process 2 heard 0's message or not), both
+        # already carry the lone permitted failure.
+        witnesses = similarity_witnesses(x, y, model)
+        assert 2 in witnesses
+        assert not check_crash_display(model, x, y, 2, steps=4)
+
+
+class TestAsyncEnvRefinement:
+    """Incoming channels of the witness are accounted to the witness."""
+
+    def setup_method(self):
+        self.model = AsyncMessagePassingModel(FloodSet(2), 3)
+
+    def test_incoming_to_witness_discounted(self):
+        env_a = mp_env((((0, 1), ("m",)),))  # message 0 -> 1 in transit
+        env_b = mp_env(())
+        assert self.model.envs_agree_modulo(env_a, env_b, 1)
+        assert not self.model.envs_agree_modulo(env_a, env_b, 0)
+
+    def test_outgoing_from_witness_not_discounted(self):
+        env_a = mp_env((((1, 0), ("m",)),))  # message 1 -> 0 in transit
+        env_b = mp_env(())
+        assert not self.model.envs_agree_modulo(env_a, env_b, 1)
+
+    def test_equal_bags_agree(self):
+        env = mp_env((((0, 1), ("m",)),))
+        assert self.model.envs_agree_modulo(env, env, 2)
+
+
+class TestGraphs:
+    def test_similarity_graph_edges(self):
+        sys = ToySystem(edges={}, n=2)
+        a = gs("toy", "x", "y")
+        b = gs("toy", "x", "z")
+        c = gs("toy", "w", "q")
+        g = similarity_graph([a, b, c], sys)
+        assert g.has_edge(a, b)
+        assert not g.has_edge(a, c)
+
+    def test_connectivity(self):
+        sys = ToySystem(edges={}, n=2)
+        a = gs("toy", "x", "y")
+        b = gs("toy", "x", "z")
+        assert is_similarity_connected([a, b], sys)
+        c = gs("toy", "p", "q")
+        assert not is_similarity_connected([a, b, c], sys)
+
+    def test_s_diameter_chain(self):
+        sys = ToySystem(edges={}, n=2)
+        # a chain x0 - x1 - x2 differing one coordinate at a time
+        x0 = gs("toy", "a", "a")
+        x1 = gs("toy", "a", "b")
+        x2 = gs("toy", "c", "b")
+        assert s_diameter([x0, x1, x2], sys) == 2

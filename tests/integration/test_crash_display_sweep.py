@@ -1,0 +1,76 @@
+"""Exhaustive crash-display sweep (the strongest Lemma 3.3 evidence).
+
+For every similar pair of states within the first layer image of every
+layered model, the crash-display continuation must keep the pair agreeing
+modulo its witness — the executable form of "R displays an arbitrary
+crash failure with respect to X" on exactly the sets the proofs use.
+"""
+
+import pytest
+
+from repro.core.faulty import check_crash_display
+from repro.core.similarity import similarity_witnesses
+from repro.layerings.iterated_snapshot import IteratedSnapshotLayering
+from repro.layerings.permutation import PermutationLayering
+from repro.layerings.s1_mobile import S1MobileLayering
+from repro.layerings.synchronic_mp import SynchronicMPLayering
+from repro.layerings.synchronic_rw import SynchronicRWLayering
+from repro.models.async_mp import AsyncMessagePassingModel
+from repro.models.mobile import MobileModel
+from repro.models.shared_memory import SharedMemoryModel
+from repro.models.snapshot import SnapshotMemoryModel
+from repro.protocols.candidates import QuorumDecide
+
+SYSTEMS = {
+    "s1-mobile": lambda: S1MobileLayering(MobileModel(QuorumDecide(2), 3)),
+    "synchronic-rw": lambda: SynchronicRWLayering(
+        SharedMemoryModel(QuorumDecide(2), 3)
+    ),
+    "synchronic-mp": lambda: SynchronicMPLayering(
+        AsyncMessagePassingModel(QuorumDecide(2), 3)
+    ),
+    "permutation": lambda: PermutationLayering(
+        AsyncMessagePassingModel(QuorumDecide(2), 3)
+    ),
+    "iis-snapshot": lambda: IteratedSnapshotLayering(
+        SnapshotMemoryModel(QuorumDecide(2), 3)
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SYSTEMS))
+def test_crash_display_on_first_layer(name):
+    layering = SYSTEMS[name]()
+    state = layering.model.initial_state((0, 1, 1))
+    layer = list(
+        dict.fromkeys(child for _, child in layering.successors(state))
+    )
+    similar_pairs = 0
+    for a in range(len(layer)):
+        for b in range(a + 1, len(layer)):
+            witnesses = similarity_witnesses(layer[a], layer[b], layering)
+            for j in witnesses:
+                assert check_crash_display(
+                    layering, layer[a], layer[b], j, steps=9
+                ), (name, a, b, j)
+            if witnesses:
+                similar_pairs += 1
+    assert similar_pairs > 0, f"{name}: no similar pairs found in the layer"
+
+
+@pytest.mark.parametrize("name", ["s1-mobile", "synchronic-rw"])
+def test_crash_display_on_initial_states(name):
+    layering = SYSTEMS[name]()
+    initials = layering.model.initial_states((0, 1))
+    checked = 0
+    for a in range(len(initials)):
+        for b in range(a + 1, len(initials)):
+            witnesses = similarity_witnesses(
+                initials[a], initials[b], layering
+            )
+            for j in witnesses:
+                assert check_crash_display(
+                    layering, initials[a], initials[b], j, steps=9
+                ), (name, a, b, j)
+                checked += 1
+    assert checked >= 12  # the hypercube's edges, each with one witness

@@ -1,0 +1,56 @@
+"""Smoke tests: every example script runs and prints its headline."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+CASES = {
+    "quickstart.py": [
+        "agreement-violation",
+        "satisfied",
+        "The bound is exactly t+1",
+    ],
+    "flp_asynchronous.py": [
+        "agreement-violation",
+        "decision-violation",
+        "validity-violation",
+        "EQUAL global states",
+    ],
+    "mobile_failures.py": [
+        "agreement-violation",
+        "bivalent run in S^rw",
+    ],
+    "task_solvability.py": [
+        "consensus",
+        "identity",
+        "agree on every task",
+    ],
+    "early_deciding.py": [
+        "satisfied",
+        "faults wasted",
+        "agreement holds",
+    ],
+}
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=900,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for needle in CASES[script]:
+        assert needle in result.stdout, (script, needle)
+
+
+def test_examples_directory_is_covered():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(CASES)

@@ -1,0 +1,131 @@
+"""Unit tests for the permutation layering S^per (Section 5.1)."""
+
+from itertools import permutations
+
+import pytest
+
+from repro.core.faulty import agree_modulo_refined
+from repro.core.similarity import similar
+from repro.layerings.base import verify_layering_embedding
+from repro.layerings.permutation import (
+    PermutationLayering,
+    diamond,
+    full_schedule,
+    pair_schedule,
+    short_schedule,
+    transposition_edges,
+)
+from repro.models.async_mp import AsyncMessagePassingModel
+from repro.models.shared_memory import SharedMemoryModel
+from repro.protocols.candidates import QuorumDecide
+from repro.protocols.full_information import FullInformationProtocol
+
+
+@pytest.fixture
+def layering():
+    return PermutationLayering(
+        AsyncMessagePassingModel(FullInformationProtocol(4), 3)
+    )
+
+
+class TestStructure:
+    def test_requires_async_model(self):
+        with pytest.raises(TypeError):
+            PermutationLayering(SharedMemoryModel(QuorumDecide(2), 3))
+
+    def test_action_counts(self, layering):
+        state = layering.model.initial_state((0, 1, 1))
+        actions = layering.layer_actions(state)
+        fulls = [a for a in actions if a[0] == "full"]
+        pairs = [a for a in actions if a[0] == "pair"]
+        shorts = [a for a in actions if a[0] == "short"]
+        assert len(fulls) == 6  # 3!
+        assert len(pairs) == 12  # 3! * (n-1)
+        assert len(shorts) == 6  # 3P2
+
+    def test_embedding_all_kinds(self, layering):
+        state = layering.model.initial_state((0, 1, 1))
+        for action in (
+            full_schedule((0, 1, 2)),
+            short_schedule((2, 0)),
+            pair_schedule((0, 1, 2), 1),
+        ):
+            trace = verify_layering_embedding(layering, state, action)
+            assert layering.model.at_phase_boundary(trace[-1])
+
+    def test_unknown_action_rejected(self, layering):
+        state = layering.model.initial_state((0, 1, 1))
+        with pytest.raises(ValueError):
+            layering.expand(state, ("zigzag", (0, 1, 2)))
+
+
+class TestTranspositionConnectivity:
+    """x[..p_k,p_{k+1}..] ~s x[..{p_k,p_{k+1}}..] ~s x[..p_{k+1},p_k..]"""
+
+    @pytest.mark.parametrize("order", list(permutations(range(3))))
+    @pytest.mark.parametrize("k", [0, 1])
+    def test_both_edges_similar(self, layering, order, k):
+        state = layering.model.initial_state((0, 1, 1))
+        for a, b in transposition_edges(order, k):
+            x = layering.apply(state, a)
+            y = layering.apply(state, b)
+            assert x == y or similar(x, y, layering), (a, b)
+
+    def test_sequential_vs_pair_witness(self, layering):
+        """The witness of [p,q,...] vs [{p,q},...] is q (who missed p's
+        current-phase message); channels into q are discounted."""
+        state = layering.model.initial_state((0, 1, 1))
+        x = layering.apply(state, full_schedule((0, 1, 2)))
+        y = layering.apply(state, pair_schedule((0, 1, 2), 0))
+        assert agree_modulo_refined(layering.model, x, y, 1)
+        assert not agree_modulo_refined(layering.model, x, y, 2)
+
+
+class TestDiamond:
+    """x[p_1..p_n][p_1..p_{n-1}] == x[p_1..p_{n-1}][p_n, p_1..p_{n-1}]"""
+
+    @pytest.mark.parametrize("order", list(permutations(range(3))))
+    def test_diamond_equality(self, layering, order):
+        state = layering.model.initial_state((0, 1, 1))
+        left, right = diamond(order)
+        y = state
+        for action in left:
+            y = layering.apply(y, action)
+        y_prime = state
+        for action in right:
+            y_prime = layering.apply(y_prime, action)
+        assert y == y_prime  # exact global-state equality, as the paper says
+
+    def test_full_vs_short_not_similar(self, layering):
+        """The paper's remark: x[p1..pn] and x[p1..p_{n-1}] are NOT
+        similar — p_n's local and the environment both differ."""
+        state = layering.model.initial_state((0, 1, 1))
+        order = (0, 1, 2)
+        x = layering.apply(state, full_schedule(order))
+        y = layering.apply(state, short_schedule(order[:-1]))
+        assert x != y
+        assert not similar(x, y, layering)
+
+
+class TestFairness:
+    def test_full_schedules_move_everyone(self, layering):
+        model = layering.model
+        state = model.initial_state((0, 1, 1))
+        child = layering.apply(state, full_schedule((2, 1, 0)))
+        for i in range(3):
+            assert model.proto_local(child, i) != model.proto_local(state, i)
+
+    def test_short_schedule_skips_exactly_one(self, layering):
+        model = layering.model
+        state = model.initial_state((0, 1, 1))
+        child = layering.apply(state, short_schedule((0, 2)))
+        assert model.proto_local(child, 1) == model.proto_local(state, 1)
+        assert model.proto_local(child, 0) != model.proto_local(state, 0)
+
+    def test_nonfaulty_under(self, layering):
+        assert layering.nonfaulty_under(short_schedule((0, 2))) == frozenset(
+            {0, 2}
+        )
+        assert layering.nonfaulty_under(
+            pair_schedule((0, 1, 2), 0)
+        ) == frozenset({0, 1, 2})

@@ -1,0 +1,92 @@
+"""Unit tests for the S_1 layering over M^mf (Lemma 5.1 structure)."""
+
+import pytest
+
+from repro.core.similarity import similar, similarity_witnesses
+from repro.core.state import agree_modulo
+from repro.core.valence import ValenceAnalyzer
+from repro.layerings.base import verify_layering_embedding
+from repro.layerings.s1_mobile import S1MobileLayering, similarity_chain
+from repro.models.mobile import MobileModel, prefix_action
+from repro.models.shared_memory import SharedMemoryModel
+from repro.protocols.floodset import FloodSet
+from repro.protocols.full_information import FullInformationProtocol
+
+
+@pytest.fixture
+def layering():
+    return S1MobileLayering(MobileModel(FullInformationProtocol(3), 3))
+
+
+class TestStructure:
+    def test_requires_mobile_model(self):
+        with pytest.raises(TypeError):
+            S1MobileLayering(SharedMemoryModel.__new__(SharedMemoryModel))
+
+    def test_action_count(self, layering):
+        state = layering.model.initial_state((0, 1, 1))
+        # n * (n+1) = 12 labelled actions
+        assert len(layering.layer_actions(state)) == 12
+
+    def test_distinct_successors_bounded(self, layering):
+        state = layering.model.initial_state((0, 1, 1))
+        succs = {child for _, child in layering.successors(state)}
+        # duplicates collapse: (j,0) coincide, (j,[k]) with j<k dedupe
+        assert len(succs) <= 12
+
+    def test_embedding(self, layering):
+        state = layering.model.initial_state((0, 1, 1))
+        for action in layering.layer_actions(state):
+            trace = verify_layering_embedding(layering, state, action)
+            assert len(trace) == 2  # S_1 actions are primitive
+
+
+class TestSimilarityChain:
+    def test_chain_covers_layer(self, layering):
+        state = layering.model.initial_state((0, 1, 1))
+        pairs = similarity_chain(layering, state)
+        touched = {a for pair in pairs for a in pair}
+        assert touched == set(layering.layer_actions(state))
+
+    def test_every_pair_similar_or_equal(self, layering):
+        state = layering.model.initial_state((0, 1, 1))
+        for a, b in similarity_chain(layering, state):
+            x = layering.apply(state, a)
+            y = layering.apply(state, b)
+            assert x == y or similar(x, y, layering), (a, b)
+
+    def test_chain_step_witness_is_flipped_process(self, layering):
+        state = layering.model.initial_state((0, 1, 1))
+        # (j,[k]) vs (j,[k+1]) differ exactly at process k (when k != j)
+        x = layering.apply(state, prefix_action(0, 1))
+        y = layering.apply(state, prefix_action(0, 2))
+        assert agree_modulo(x, y, 1)
+        assert 1 in similarity_witnesses(x, y, layering)
+
+    def test_self_prefix_steps_equal(self, layering):
+        state = layering.model.initial_state((0, 1, 1))
+        x = layering.apply(state, prefix_action(0, 0))
+        y = layering.apply(state, prefix_action(0, 1))
+        assert x == y  # dropping only the self-message changes nothing
+
+
+class TestValenceConnectivity:
+    def test_layer_valence_connected_with_decider(self):
+        from repro.protocols.full_information import decide_min_observed
+
+        fi = FullInformationProtocol(2, decide_min_observed, "min")
+        layering = S1MobileLayering(MobileModel(fi, 3))
+        analyzer = ValenceAnalyzer(layering)
+        state = layering.model.initial_state((0, 1, 1))
+        from repro.core.connectivity import is_valence_connected
+
+        layer = [child for _, child in layering.successors(state)]
+        assert is_valence_connected(layer, analyzer)
+
+    def test_nonfaulty_under_delegates(self, layering):
+        assert layering.nonfaulty_under(prefix_action(0, 3)) == frozenset(
+            {1, 2}
+        )
+        assert layering.nonfaulty_under(prefix_action(0, 0)) == frozenset(
+            {0, 1, 2}
+        )

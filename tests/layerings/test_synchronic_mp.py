@@ -1,0 +1,115 @@
+"""Unit tests for the synchronic message-passing layering."""
+
+import pytest
+
+from repro.core.faulty import agree_modulo_refined, check_crash_display
+from repro.core.similarity import similar
+from repro.layerings.base import verify_layering_embedding
+from repro.layerings.synchronic_mp import (
+    SynchronicMPLayering,
+    absent_mp,
+    sync_mp,
+    y_chain,
+)
+from repro.layerings.synchronic_rw import SynchronicRWLayering
+from repro.models.async_mp import AsyncMessagePassingModel
+from repro.models.shared_memory import SharedMemoryModel
+from repro.protocols.candidates import QuorumDecide
+from repro.protocols.full_information import FullInformationProtocol
+
+
+@pytest.fixture
+def layering():
+    return SynchronicMPLayering(
+        AsyncMessagePassingModel(FullInformationProtocol(4), 3)
+    )
+
+
+class TestStructure:
+    def test_requires_async_model(self):
+        with pytest.raises(TypeError):
+            SynchronicMPLayering(
+                SharedMemoryModel(QuorumDecide(2), 3)
+            )
+
+    def test_action_count(self, layering):
+        state = layering.model.initial_state((0, 1, 1))
+        assert len(layering.layer_actions(state)) == 15
+
+    def test_embedding_all_actions(self, layering):
+        state = layering.model.initial_state((0, 1, 1))
+        for action in layering.layer_actions(state):
+            trace = verify_layering_embedding(layering, state, action)
+            assert layering.model.at_phase_boundary(trace[-1])
+
+
+class TestRoundSemantics:
+    def test_k0_independent_of_j(self, layering):
+        state = layering.model.initial_state((0, 1, 1))
+        results = {layering.apply(state, sync_mp(j, 0)) for j in range(3)}
+        assert len(results) == 1
+
+    def test_early_receiver_misses_j(self, layering):
+        model = layering.model
+        state = model.initial_state((0, 1, 1))
+        # (j=0, k=3): all proper receive early, missing 0's send
+        child = layering.apply(state, sync_mp(0, 3))
+        view1 = model.proto_local(child, 1)
+        assert all(src != 0 for src, _ in view1.history[0])
+        # but 0's message remains pending for round 2
+        assert (0, 1) in model.bag(child)
+
+    def test_late_receiver_hears_j(self, layering):
+        model = layering.model
+        state = model.initial_state((0, 1, 1))
+        # (j=0, k=0): everyone receives after 0's send
+        child = layering.apply(state, sync_mp(0, 0))
+        view1 = model.proto_local(child, 1)
+        assert any(src == 0 for src, _ in view1.history[0])
+
+    def test_absent_process_untouched(self, layering):
+        model = layering.model
+        state = model.initial_state((0, 1, 1))
+        child = layering.apply(state, absent_mp(0))
+        assert model.proto_local(child, 0) == model.proto_local(state, 0)
+
+    def test_chain_pairs_similar_or_equal(self, layering):
+        state = layering.model.initial_state((0, 1, 1))
+        for a, b in y_chain(3):
+            x = layering.apply(state, a)
+            y = layering.apply(state, b)
+            assert x == y or similar(x, y, layering), (a, b)
+
+    def test_chain_crash_display(self, layering):
+        state = layering.model.initial_state((0, 1, 1))
+        x = layering.apply(state, sync_mp(0, 1))
+        y = layering.apply(state, sync_mp(0, 2))
+        assert check_crash_display(layering, x, y, 1, steps=12)
+
+
+class TestAbsentDiamond:
+    @pytest.mark.parametrize("j", [0, 1, 2])
+    def test_diamond_agrees_modulo_j_refined(self, layering, j):
+        from repro.layerings.synchronic_mp import absent_diamond
+
+        state = layering.model.initial_state((0, 1, 1))
+        left, right = absent_diamond(j, 3)
+        y = state
+        for action in left:
+            y = layering.apply(y, action)
+        y_prime = state
+        for action in right:
+            y_prime = layering.apply(y_prime, action)
+        # the env hook discounts channels INTO j (consumed at different
+        # rounds in the two orders); everything else must agree
+        assert agree_modulo_refined(layering.model, y, y_prime, j)
+
+
+class TestNonfaultyUnder:
+    def test_absent_crashes_one(self, layering):
+        assert layering.nonfaulty_under(absent_mp(2)) == frozenset({0, 1})
+
+    def test_slow_crashes_none(self, layering):
+        assert layering.nonfaulty_under(sync_mp(2, 1)) == frozenset(
+            {0, 1, 2}
+        )

@@ -1,0 +1,131 @@
+"""Unit tests for the synchronic layering S^rw (Lemma 5.3 structure)."""
+
+import pytest
+
+from repro.core.faulty import check_crash_display
+from repro.core.similarity import similar, similarity_witnesses
+from repro.core.state import agree_modulo
+from repro.layerings.base import verify_layering_embedding
+from repro.layerings.synchronic_rw import (
+    SynchronicRWLayering,
+    absent_diamond,
+    absent_rw,
+    sync_rw,
+    y_chain,
+)
+from repro.models.mobile import MobileModel
+from repro.models.shared_memory import SharedMemoryModel
+from repro.protocols.candidates import QuorumDecide
+from repro.protocols.full_information import FullInformationProtocol
+
+
+@pytest.fixture
+def layering():
+    return SynchronicRWLayering(
+        SharedMemoryModel(FullInformationProtocol(4), 3)
+    )
+
+
+class TestStructure:
+    def test_requires_rw_model(self):
+        with pytest.raises(TypeError):
+            SynchronicRWLayering(MobileModel(QuorumDecide(2), 3))
+
+    def test_action_count(self, layering):
+        state = layering.model.initial_state((0, 1, 1))
+        # n(n+1) slow actions + n absent actions = 12 + 3
+        assert len(layering.layer_actions(state)) == 15
+
+    def test_embedding_all_actions(self, layering):
+        state = layering.model.initial_state((0, 1, 1))
+        for action in layering.layer_actions(state):
+            trace = verify_layering_embedding(layering, state, action)
+            assert layering.model.at_phase_boundary(trace[-1])
+
+    def test_fairness_all_but_one_move(self, layering):
+        """Every layer gives all but at most one process a full phase."""
+        model = layering.model
+        state = model.initial_state((0, 1, 1))
+        for action in layering.layer_actions(state):
+            child = layering.apply(state, action)
+            moved = sum(
+                model.proto_local(child, i) != model.proto_local(state, i)
+                for i in range(3)
+            )
+            assert moved >= 2
+
+
+class TestYChain:
+    def test_k0_independent_of_j(self, layering):
+        state = layering.model.initial_state((0, 1, 1))
+        results = {layering.apply(state, sync_rw(j, 0)) for j in range(3)}
+        assert len(results) == 1
+
+    def test_chain_pairs_similar_or_equal(self, layering):
+        state = layering.model.initial_state((0, 1, 1))
+        for a, b in y_chain(3):
+            x = layering.apply(state, a)
+            y = layering.apply(state, b)
+            assert x == y or similar(x, y, layering), (a, b)
+
+    def test_flip_witness_is_k(self, layering):
+        state = layering.model.initial_state((0, 1, 1))
+        x = layering.apply(state, sync_rw(0, 1))
+        y = layering.apply(state, sync_rw(0, 2))
+        # proper process 1 flips between early (R1) and late (R2) reads
+        assert agree_modulo(x, y, 1)
+        assert 1 in similarity_witnesses(x, y, layering)
+
+    def test_chain_crash_display(self, layering):
+        state = layering.model.initial_state((0, 1, 1))
+        x = layering.apply(state, sync_rw(0, 1))
+        y = layering.apply(state, sync_rw(0, 2))
+        assert check_crash_display(layering, x, y, 1, steps=13)
+
+
+class TestAbsentDiamond:
+    """The paper's y = x(j,n)(j,A) vs y' = x(j,A)(j,0) argument."""
+
+    @pytest.mark.parametrize("j", [0, 1, 2])
+    def test_diamond_endpoints_agree_modulo_j(self, layering, j):
+        state = layering.model.initial_state((0, 1, 1))
+        left, right = absent_diamond(j, 3)
+        y = state
+        for action in left:
+            y = layering.apply(y, action)
+        y_prime = state
+        for action in right:
+            y_prime = layering.apply(y_prime, action)
+        assert agree_modulo(y, y_prime, j)
+
+    def test_diamond_register_j_same_value(self, layering):
+        """j's only write carries its phase-start value in both orders."""
+        model = layering.model
+        state = model.initial_state((0, 1, 1))
+        left, right = absent_diamond(0, 3)
+        y = state
+        for action in left:
+            y = layering.apply(y, action)
+        y_prime = state
+        for action in right:
+            y_prime = layering.apply(y_prime, action)
+        assert model.registers(y)[0] == model.registers(y_prime)[0]
+
+    def test_absent_state_differs_from_slow_state(self, layering):
+        state = layering.model.initial_state((0, 1, 1))
+        slow = layering.apply(state, sync_rw(0, 3))
+        absent = layering.apply(state, absent_rw(0))
+        assert slow != absent
+        # and they are NOT similar: both j's local and the registers
+        # differ (the paper's point about why valence is needed here)
+        assert not similar(slow, absent, layering)
+
+
+class TestNonfaultyUnder:
+    def test_absent_crashes_one(self, layering):
+        assert layering.nonfaulty_under(absent_rw(1)) == frozenset({0, 2})
+
+    def test_slow_crashes_none(self, layering):
+        assert layering.nonfaulty_under(sync_rw(1, 2)) == frozenset(
+            {0, 1, 2}
+        )

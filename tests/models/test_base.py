@@ -1,0 +1,85 @@
+"""Unit tests for the model base class and delivery helper."""
+
+import pytest
+
+from repro.models.base import Model, deliver_round
+from repro.models.mobile import MobileModel
+from repro.protocols.floodset import FloodSet
+
+
+class TestDeliverRound:
+    def test_basic_delivery(self):
+        outgoing = {0: {1: "a", 2: "b"}, 1: {0: "c"}}
+        received = deliver_round(3, outgoing, dropped=lambda s, d: False)
+        assert received[1] == {0: "a"}
+        assert received[2] == {0: "b"}
+        assert received[0] == {1: "c"}
+
+    def test_drops_applied(self):
+        outgoing = {0: {1: "a", 2: "b"}}
+        received = deliver_round(
+            3, outgoing, dropped=lambda s, d: d == 1
+        )
+        assert received[1] == {}
+        assert received[2] == {0: "b"}
+
+    def test_self_message_rejected(self):
+        with pytest.raises(ValueError, match="self-message"):
+            deliver_round(2, {0: {0: "x"}}, dropped=lambda s, d: False)
+
+    def test_unknown_destination_rejected(self):
+        with pytest.raises(ValueError, match="unknown destination"):
+            deliver_round(2, {0: {5: "x"}}, dropped=lambda s, d: False)
+
+    def test_empty_round(self):
+        received = deliver_round(2, {}, dropped=lambda s, d: False)
+        assert received == {0: {}, 1: {}}
+
+
+class TestModelDefaults:
+    def test_initial_states_enumerates_domain(self):
+        model = MobileModel(FloodSet(2), 2)
+        states = model.initial_states((0, 1))
+        assert len(states) == 4
+        assert len(set(states)) == 4
+
+    def test_initial_states_custom_domain(self):
+        model = MobileModel(FloodSet(2), 2)
+        states = model.initial_states(("a", "b", "c"))
+        assert len(states) == 9
+
+    def test_envs_agree_default_is_equality(self):
+        model = MobileModel(FloodSet(2), 2)
+        assert model.envs_agree_modulo("x", "x", 0)
+        assert not model.envs_agree_modulo("x", "y", 0)
+
+    def test_n_lower_bound(self):
+        with pytest.raises(ValueError, match="n >= 2"):
+            MobileModel(FloodSet(2), 1)
+
+    def test_successors_pairs(self):
+        model = MobileModel(FloodSet(2), 2)
+        state = model.initial_state((0, 1))
+        succs = model.successors(state)
+        assert len(succs) == len(model.actions(state))
+        for action, child in succs:
+            assert model.apply(state, action) == child
+
+    def test_nonfaulty_under_default(self):
+        class Dummy(Model):
+            def initial_state(self, inputs):
+                raise NotImplementedError
+
+            def actions(self, state):
+                return []
+
+            def apply(self, state, action):
+                raise NotImplementedError
+
+            def failed_at(self, state):
+                return frozenset()
+
+            def decisions(self, state):
+                return {}
+
+        assert Dummy(3).nonfaulty_under("anything") == frozenset({0, 1, 2})

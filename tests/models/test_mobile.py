@@ -1,0 +1,123 @@
+"""Unit tests for the mobile-failure model M^mf."""
+
+import pytest
+
+from repro.models.mobile import ENV_MF, MobileModel, omit_action, prefix_action
+from repro.protocols.floodset import FloodSet
+from repro.protocols.full_information import FullInformationProtocol
+
+
+@pytest.fixture
+def model():
+    return MobileModel(FloodSet(3), 3)
+
+
+class TestBasics:
+    def test_initial_state(self, model):
+        state = model.initial_state((0, 1, 1))
+        assert state.env == ENV_MF
+        assert state.n == 3
+        assert state.local(0).known == frozenset({0})
+
+    def test_initial_state_wrong_arity(self, model):
+        with pytest.raises(ValueError):
+            model.initial_state((0, 1))
+
+    def test_n_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            MobileModel(FloodSet(1), 1)
+
+    def test_action_count(self, model):
+        state = model.initial_state((0, 1, 1))
+        # n * 2^n = 3 * 8 = 24 labelled actions (duplicates collapse at
+        # the state level: G and G \ {j} act identically)
+        assert len(model.actions(state)) == 24
+
+    def test_env_constant(self, model):
+        state = model.initial_state((0, 1, 1))
+        nxt = model.apply(state, omit_action(0, {1, 2}))
+        assert nxt.env == ENV_MF
+
+
+class TestDelivery:
+    def test_failure_free_round_floods(self, model):
+        state = model.initial_state((0, 1, 1))
+        nxt = model.apply(state, omit_action(0, ()))
+        for i in range(3):
+            assert nxt.local(i).known == frozenset({0, 1})
+
+    def test_omission_blocks_target(self, model):
+        state = model.initial_state((0, 1, 1))
+        nxt = model.apply(state, omit_action(0, {1}))
+        # process 1 misses 0's message: knows only 1 (from itself and 2)
+        assert nxt.local(1).known == frozenset({1})
+        # process 2 still hears 0
+        assert nxt.local(2).known == frozenset({0, 1})
+
+    def test_prefix_action_targets_prefix(self, model):
+        state = model.initial_state((0, 1, 1))
+        assert prefix_action(2, 2) == ("omit", 2, frozenset({0, 1}))
+        assert prefix_action(1, 0) == ("omit", 1, frozenset())
+
+    def test_prefix_action_negative_rejected(self):
+        with pytest.raises(ValueError):
+            prefix_action(0, -1)
+
+    def test_zero_prefix_identical_for_all_j(self, model):
+        state = model.initial_state((0, 1, 1))
+        results = {
+            model.apply(state, prefix_action(j, 0)) for j in range(3)
+        }
+        assert len(results) == 1
+
+    def test_self_omission_is_noop(self, model):
+        state = model.initial_state((0, 1, 1))
+        a = model.apply(state, omit_action(0, {0}))
+        b = model.apply(state, omit_action(0, ()))
+        assert a == b
+
+    def test_determinism(self, model):
+        state = model.initial_state((1, 0, 1))
+        action = omit_action(1, {0, 2})
+        assert model.apply(state, action) == model.apply(state, action)
+
+
+class TestFailureSemantics:
+    def test_no_finite_failure(self, model):
+        state = model.initial_state((0, 1, 1))
+        assert model.failed_at(state) == frozenset()
+        nxt = model.apply(state, omit_action(0, {1, 2}))
+        assert model.failed_at(nxt) == frozenset()
+
+    def test_nonfaulty_under_real_omission(self, model):
+        assert model.nonfaulty_under(omit_action(0, {1, 2})) == frozenset(
+            {1, 2}
+        )
+
+    def test_nonfaulty_under_noop(self, model):
+        assert model.nonfaulty_under(omit_action(0, ())) == frozenset(
+            {0, 1, 2}
+        )
+        assert model.nonfaulty_under(omit_action(0, {0})) == frozenset(
+            {0, 1, 2}
+        )
+
+    def test_decisions_extracted(self, model):
+        state = model.initial_state((0, 1, 1))
+        for _ in range(3):
+            state = model.apply(state, omit_action(0, ()))
+        decisions = model.decisions(state)
+        assert decisions == {0: 0, 1: 0, 2: 0}
+
+
+class TestWithFullInformation:
+    def test_views_grow_and_freeze(self):
+        fi = FullInformationProtocol(phases=2)
+        model = MobileModel(fi, 3)
+        state = model.initial_state((0, 1, 1))
+        s1 = model.apply(state, omit_action(0, ()))
+        assert s1.local(0).phase == 1
+        s2 = model.apply(s1, omit_action(0, ()))
+        assert s2.local(0).phase == 2
+        s3 = model.apply(s2, omit_action(0, ()))
+        assert s3 == s2  # frozen: finite state space

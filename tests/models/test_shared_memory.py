@@ -1,0 +1,115 @@
+"""Unit tests for the shared-memory model M^rw."""
+
+import pytest
+
+from repro.models.shared_memory import BOT, SharedMemoryModel, step_action
+from repro.protocols.candidates import QuorumDecide
+from repro.protocols.full_information import FullInformationProtocol
+
+
+@pytest.fixture
+def model():
+    return SharedMemoryModel(QuorumDecide(2), 3)
+
+
+def run_phase(model, state, i):
+    """Drive process i through one complete local phase (n+1 steps)."""
+    for _ in range(model.n + 1):
+        state = model.apply(state, step_action(i))
+    return state
+
+
+class TestBasics:
+    def test_initial_registers_bot(self, model):
+        state = model.initial_state((0, 1, 1))
+        assert model.registers(state) == (BOT, BOT, BOT)
+        assert model.at_phase_boundary(state)
+
+    def test_actions_always_all_processes(self, model):
+        state = model.initial_state((0, 1, 1))
+        assert model.actions(state) == [
+            step_action(0),
+            step_action(1),
+            step_action(2),
+        ]
+
+    def test_wrong_env_rejected(self, model):
+        from repro.core.state import GlobalState
+
+        with pytest.raises(ValueError):
+            model.registers(GlobalState("bogus", ("x",) * 3))
+
+    def test_unknown_action_rejected(self, model):
+        state = model.initial_state((0, 1, 1))
+        with pytest.raises(ValueError):
+            model.apply(state, ("dance", 0))
+
+
+class TestPhaseMachine:
+    def test_write_then_reads(self, model):
+        state = model.initial_state((0, 1, 1))
+        after_write = model.apply(state, step_action(0))
+        # register 0 now holds 0's emitted seen-set
+        assert model.registers(after_write)[0] == frozenset({(0, 0)})
+        assert model.stage(after_write, 0) == 1
+        assert not model.at_phase_boundary(after_write)
+
+    def test_phase_completes_and_resets(self, model):
+        state = model.initial_state((0, 1, 1))
+        after = run_phase(model, state, 0)
+        assert model.stage(after, 0) == 0
+        assert model.at_phase_boundary(after)
+
+    def test_reads_observe_prior_writes(self, model):
+        state = model.initial_state((0, 1, 1))
+        state = run_phase(model, state, 1)  # p1 writes, reads (sees only own)
+        state = run_phase(model, state, 0)  # p0 now sees p1's register
+        seen = model.proto_local(state, 0).seen
+        assert (1, 1) in seen
+
+    def test_interleaved_reads_can_miss_late_writes(self, model):
+        state = model.initial_state((0, 1, 1))
+        # p0 writes and reads register 0 before p1 writes
+        state = model.apply(state, step_action(0))  # p0 write
+        state = model.apply(state, step_action(0))  # p0 reads reg 0
+        state = model.apply(state, step_action(0))  # p0 reads reg 1 (BOT)
+        state = model.apply(state, step_action(1))  # p1 writes now
+        state = model.apply(state, step_action(0))  # p0 reads reg 2 (BOT)
+        seen = model.proto_local(state, 0).seen
+        assert (1, 1) not in seen  # missed p1's late write
+
+    def test_registers_single_writer(self, model):
+        state = model.initial_state((0, 1, 1))
+        state = run_phase(model, state, 2)
+        regs = model.registers(state)
+        assert regs[0] == BOT and regs[1] == BOT
+        assert regs[2] != BOT
+
+
+class TestFailureSemantics:
+    def test_no_finite_failure(self, model):
+        state = model.initial_state((0, 1, 1))
+        assert model.failed_at(state) == frozenset()
+
+    def test_nonfaulty_under_single_step(self, model):
+        assert model.nonfaulty_under(step_action(1)) == frozenset({1})
+
+
+class TestDecisions:
+    def test_quorum_decides_after_seeing_two(self, model):
+        state = model.initial_state((0, 1, 1))
+        state = run_phase(model, state, 1)
+        state = run_phase(model, state, 0)
+        decisions = model.decisions(state)
+        assert decisions.get(0) == 0  # saw {0, 1}, min = 0
+
+    def test_full_information_protocol_in_rw(self):
+        fi = FullInformationProtocol(phases=2)
+        model = SharedMemoryModel(fi, 3)
+        state = model.initial_state((0, 1, 1))
+        state = run_phase(model, state, 0)
+        view = model.proto_local(state, 0)
+        assert view.phase == 1
+        # the observation records all three registers, including BOTs
+        sources = [src for src, _ in view.history[0]]
+        assert sources == [0, 1, 2]

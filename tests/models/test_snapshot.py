@@ -1,0 +1,95 @@
+"""Unit tests for the snapshot shared-memory model."""
+
+import pytest
+
+from repro.models.snapshot import (
+    BOT,
+    SnapshotMemoryModel,
+    scan_action,
+    update_action,
+)
+from repro.protocols.candidates import QuorumDecide
+
+
+@pytest.fixture
+def model():
+    return SnapshotMemoryModel(QuorumDecide(2), 3)
+
+
+def run_phase(model, state, i):
+    state = model.apply(state, update_action(i))
+    return model.apply(state, scan_action(i))
+
+
+class TestBasics:
+    def test_initial_cells_bot(self, model):
+        state = model.initial_state((0, 1, 1))
+        assert model.cells(state) == (BOT, BOT, BOT)
+        assert model.at_phase_boundary(state)
+
+    def test_actions_track_pending_op(self, model):
+        state = model.initial_state((0, 1, 1))
+        assert update_action(0) in model.actions(state)
+        after = model.apply(state, update_action(0))
+        assert scan_action(0) in model.actions(after)
+        assert update_action(0) not in model.actions(after)
+
+    def test_wrong_op_order_rejected(self, model):
+        state = model.initial_state((0, 1, 1))
+        with pytest.raises(ValueError):
+            model.apply(state, scan_action(0))
+
+    def test_wrong_env_rejected(self, model):
+        from repro.core.state import GlobalState
+
+        with pytest.raises(ValueError):
+            model.cells(GlobalState("bogus", ("x",) * 3))
+
+
+class TestAtomicity:
+    def test_scan_sees_all_cells_at_once(self, model):
+        state = model.initial_state((0, 1, 1))
+        state = model.apply(state, update_action(0))
+        state = model.apply(state, update_action(1))
+        state = model.apply(state, scan_action(0))
+        seen = model.proto_local(state, 0).seen
+        # one atomic scan caught both fresh updates
+        assert (1, 1) in seen and (0, 0) in seen
+
+    def test_block_members_see_each_other(self, model):
+        """The immediate-snapshot signature: in an update-update-scan-scan
+        block, BOTH processes see both updates (contrast with the
+        permutation layering's exclusive pair)."""
+        state = model.initial_state((0, 1, 1))
+        state = model.apply(state, update_action(0))
+        state = model.apply(state, update_action(1))
+        state = model.apply(state, scan_action(0))
+        state = model.apply(state, scan_action(1))
+        assert (1, 1) in model.proto_local(state, 0).seen
+        assert (0, 0) in model.proto_local(state, 1).seen
+
+    def test_earlier_scan_misses_later_update(self, model):
+        state = model.initial_state((0, 1, 1))
+        state = run_phase(model, state, 0)
+        assert (1, 1) not in model.proto_local(state, 0).seen
+
+    def test_cells_single_writer(self, model):
+        state = model.initial_state((0, 1, 1))
+        state = run_phase(model, state, 2)
+        cells = model.cells(state)
+        assert cells[0] == BOT and cells[1] == BOT and cells[2] != BOT
+
+
+class TestFailureSemantics:
+    def test_no_finite_failure(self, model):
+        state = model.initial_state((0, 1, 1))
+        assert model.failed_at(state) == frozenset()
+
+    def test_nonfaulty_under_primitive(self, model):
+        assert model.nonfaulty_under(scan_action(1)) == frozenset({1})
+
+    def test_decisions(self, model):
+        state = model.initial_state((0, 1, 1))
+        state = run_phase(model, state, 1)
+        state = run_phase(model, state, 0)
+        assert model.decisions(state).get(0) == 0

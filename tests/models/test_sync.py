@@ -1,0 +1,123 @@
+"""Unit tests for the t-resilient synchronous model (Section 6)."""
+
+import pytest
+
+from repro.models.sync import NO_FAILURE, SynchronousModel, fail_action
+from repro.protocols.floodset import FloodSet
+
+
+@pytest.fixture
+def model():
+    return SynchronousModel(FloodSet(2), 3, 1)
+
+
+@pytest.fixture
+def model_t2():
+    return SynchronousModel(FloodSet(3), 4, 2)
+
+
+class TestConstruction:
+    def test_t_range_enforced(self):
+        with pytest.raises(ValueError):
+            SynchronousModel(FloodSet(2), 3, 0)
+        with pytest.raises(ValueError):
+            SynchronousModel(FloodSet(2), 3, 3)
+
+    def test_initial_state_env(self, model):
+        state = model.initial_state((0, 1, 1))
+        assert model.failed_at(state) == frozenset()
+
+    def test_wrong_env_rejected(self, model):
+        from repro.core.state import GlobalState
+
+        with pytest.raises(ValueError):
+            model.failed_at(GlobalState("bogus", ("a", "b", "c")))
+
+
+class TestActions:
+    def test_action_count_no_failures(self, model):
+        state = model.initial_state((0, 1, 1))
+        # 1 (no failure) + 3 processes * (2^2 - 1) blocked subsets = 10
+        assert len(model.actions(state)) == 10
+
+    def test_clean_crash_restriction(self):
+        model = SynchronousModel(
+            FloodSet(2), 3, 1, clean_crashes_only=True
+        )
+        state = model.initial_state((0, 1, 1))
+        # 1 + 3 (each process crashes cleanly) = 4
+        assert len(model.actions(state)) == 4
+
+    def test_budget_exhausted_only_no_failure(self, model):
+        state = model.initial_state((0, 1, 1))
+        failed = model.apply(state, fail_action((0, frozenset({1, 2}))))
+        assert model.actions(failed) == [NO_FAILURE]
+
+    def test_two_new_failures_when_t2(self, model_t2):
+        state = model_t2.initial_state((0, 1, 1, 0))
+        actions = model_t2.actions(state)
+        doubles = [a for a in actions if len(a) == 2]
+        assert doubles  # simultaneous failures exist in the full model
+
+
+class TestApply:
+    def test_silencing_forever(self, model):
+        state = model.initial_state((0, 1, 1))
+        failed = model.apply(state, fail_action((0, frozenset({1}))))
+        assert model.failed_at(failed) == frozenset({0})
+        # next round: 0's messages dropped everywhere even with NO_FAILURE
+        nxt = model.apply(failed, NO_FAILURE)
+        # process 2 heard 0 in round 1 (only 1 was blocked), then nobody
+        # hears 0 directly in round 2 — but 2 relays 0's value.
+        assert 0 in nxt.local(1).known  # relayed via 2
+
+    def test_refailing_rejected(self, model):
+        state = model.initial_state((0, 1, 1))
+        failed = model.apply(state, fail_action((0, frozenset({1}))))
+        with pytest.raises(ValueError):
+            model.apply(failed, fail_action((0, frozenset({2}))))
+
+    def test_budget_exceeded_rejected(self, model):
+        state = model.initial_state((0, 1, 1))
+        failed = model.apply(state, fail_action((0, frozenset({1}))))
+        with pytest.raises(ValueError):
+            model.apply(failed, fail_action((1, frozenset({2}))))
+
+    def test_failed_process_still_receives(self, model):
+        state = model.initial_state((0, 1, 1))
+        failed = model.apply(state, fail_action((0, frozenset({1, 2}))))
+        # 0 is silenced but receives: it learns 1's value
+        assert failed.local(0).known == frozenset({0, 1})
+
+    def test_omission_subset_delivery(self, model):
+        state = model.initial_state((0, 1, 1))
+        nxt = model.apply(state, fail_action((0, frozenset({1}))))
+        assert nxt.local(1).known == frozenset({1})
+        assert nxt.local(2).known == frozenset({0, 1})
+
+
+class TestFloodSetCorrectness:
+    def test_clean_run_unanimity(self, model):
+        state = model.initial_state((0, 1, 1))
+        for _ in range(2):
+            state = model.apply(state, NO_FAILURE)
+        assert model.decisions(state) == {0: 0, 1: 0, 2: 0}
+
+    def test_decisions_respect_failures(self, model):
+        # classic scenario: 0 fails round 1 reaching only process 2
+        state = model.initial_state((0, 1, 1))
+        state = model.apply(state, fail_action((0, frozenset({1}))))
+        state = model.apply(state, NO_FAILURE)
+        decisions = model.decisions(state)
+        # 2 rounds = t+1: all non-failed agree (2 relayed the 0)
+        nonfailed = {i: v for i, v in decisions.items() if i != 0}
+        assert len(set(nonfailed.values())) == 1
+
+
+class TestNonfaultyUnder:
+    def test_new_failures_excluded(self, model):
+        action = fail_action((1, frozenset({0})))
+        assert model.nonfaulty_under(action) == frozenset({0, 2})
+
+    def test_no_failure_keeps_all(self, model):
+        assert model.nonfaulty_under(NO_FAILURE) == frozenset({0, 1, 2})

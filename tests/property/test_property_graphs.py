@@ -1,0 +1,100 @@
+"""Property-based tests for the graph and ordering substrates."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.graphs import (
+    Graph,
+    connected_components,
+    diameter,
+    is_connected,
+    shortest_path,
+    shortest_path_lengths,
+)
+from repro.util.orderings import (
+    adjacent_transposition_chain,
+    apply_transposition,
+)
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)), max_size=40
+)
+
+
+@given(edge_lists)
+def test_components_partition_vertices(edges):
+    g = Graph(edges=edges)
+    comps = connected_components(g)
+    union = set()
+    for comp in comps:
+        assert not (union & comp)  # pairwise disjoint
+        union |= comp
+    assert union == set(g.vertices())
+
+
+@given(edge_lists)
+def test_no_cross_component_edges(edges):
+    g = Graph(edges=edges)
+    comp_of = {}
+    for idx, comp in enumerate(connected_components(g)):
+        for v in comp:
+            comp_of[v] = idx
+    for u in g.vertices():
+        for v in g.neighbors(u):
+            assert comp_of[u] == comp_of[v]
+
+
+@given(edge_lists, st.integers(0, 12), st.integers(0, 12))
+def test_shortest_path_is_shortest_and_valid(edges, a, b):
+    g = Graph(edges=edges)
+    g.add_vertex(a)
+    g.add_vertex(b)
+    path = shortest_path(g, a, b)
+    dist = shortest_path_lengths(g, a)
+    if path is None:
+        assert b not in dist
+    else:
+        assert path[0] == a and path[-1] == b
+        assert len(path) - 1 == dist[b]
+        for u, v in zip(path, path[1:]):
+            assert g.has_edge(u, v)
+
+
+@given(edge_lists)
+@settings(max_examples=60)
+def test_diameter_bounds_distances(edges):
+    g = Graph(edges=edges)
+    if len(g) == 0 or not is_connected(g):
+        return
+    d = diameter(g)
+    for v in g.vertices():
+        assert max(shortest_path_lengths(g, v).values()) <= d
+
+
+perms = st.permutations(list(range(6)))
+
+
+@given(perms, perms)
+def test_transposition_chain_connects(start, end):
+    chain = adjacent_transposition_chain(tuple(start), tuple(end))
+    assert chain[0] == tuple(start)
+    assert chain[-1] == tuple(end)
+    for a, b in zip(chain, chain[1:]):
+        diffs = [i for i in range(len(a)) if a[i] != b[i]]
+        assert len(diffs) == 2 and diffs[1] == diffs[0] + 1
+
+
+@given(perms, st.integers(0, 4))
+def test_transposition_involution(perm, k):
+    perm = tuple(perm)
+    once = apply_transposition(perm, k)
+    assert apply_transposition(once, k) == perm
+    assert sorted(once) == sorted(perm)
+
+
+@given(perms, perms)
+def test_chain_length_bounded_by_inversions(start, end):
+    """The bubble chain is at most n(n-1)/2 + 1 long."""
+    chain = adjacent_transposition_chain(tuple(start), tuple(end))
+    n = len(start)
+    assert len(chain) <= n * (n - 1) // 2 + 1

@@ -1,0 +1,122 @@
+"""Property-based tests on model invariants.
+
+These check the structural properties every analysis relies on, across
+randomly chosen inputs and schedules:
+
+* determinism — applying the same action twice gives the same state;
+* totality — every state has at least one enabled action;
+* canonical hashability — equal states hash equal after round trips;
+* decision write-once under arbitrary schedules;
+* the layer-boundary invariants of the shared-memory and async models.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layerings.permutation import PermutationLayering
+from repro.layerings.s1_mobile import S1MobileLayering
+from repro.layerings.st_synchronous import StSynchronousLayering
+from repro.layerings.synchronic_rw import SynchronicRWLayering
+from repro.models.async_mp import AsyncMessagePassingModel
+from repro.models.mobile import MobileModel
+from repro.models.shared_memory import SharedMemoryModel
+from repro.models.sync import SynchronousModel
+from repro.protocols.candidates import QuorumDecide
+from repro.protocols.floodset import FloodSet
+
+inputs3 = st.tuples(
+    st.integers(0, 1), st.integers(0, 1), st.integers(0, 1)
+)
+schedule = st.lists(st.integers(0, 10**6), min_size=1, max_size=5)
+
+
+def walk(layering, state, picks):
+    """Follow a pseudo-random layer-action schedule."""
+    trace = [state]
+    for pick in picks:
+        actions = list(layering.layer_actions(state))
+        state = layering.apply(state, actions[pick % len(actions)])
+        trace.append(state)
+    return trace
+
+
+def all_layerings(inputs):
+    return [
+        S1MobileLayering(MobileModel(FloodSet(2), 3)),
+        StSynchronousLayering(SynchronousModel(FloodSet(2), 3, 1)),
+        SynchronicRWLayering(SharedMemoryModel(QuorumDecide(2), 3)),
+        PermutationLayering(
+            AsyncMessagePassingModel(QuorumDecide(2), 3)
+        ),
+    ]
+
+
+@given(inputs3, schedule)
+@settings(max_examples=40, deadline=None)
+def test_determinism_along_schedules(inputs, picks):
+    for layering in all_layerings(inputs):
+        state = layering.model.initial_state(inputs)
+        for pick in picks:
+            actions = list(layering.layer_actions(state))
+            action = actions[pick % len(actions)]
+            once = layering.apply(state, action)
+            twice = layering.apply(state, action)
+            assert once == twice
+            assert hash(once) == hash(twice)
+            state = once
+
+
+@given(inputs3, schedule)
+@settings(max_examples=40, deadline=None)
+def test_totality_along_schedules(inputs, picks):
+    for layering in all_layerings(inputs):
+        for state in walk(
+            layering, layering.model.initial_state(inputs), picks
+        ):
+            assert list(layering.layer_actions(state))
+            assert list(layering.model.actions(state))
+
+
+@given(inputs3, schedule)
+@settings(max_examples=40, deadline=None)
+def test_decisions_write_once(inputs, picks):
+    for layering in all_layerings(inputs):
+        trace = walk(layering, layering.model.initial_state(inputs), picks)
+        for before, after in zip(trace, trace[1:]):
+            d_before = layering.decisions(before)
+            d_after = layering.decisions(after)
+            for i, v in d_before.items():
+                assert d_after.get(i) == v
+
+
+@given(inputs3, schedule)
+@settings(max_examples=40, deadline=None)
+def test_failed_set_monotone_in_sync(inputs, picks):
+    layering = StSynchronousLayering(SynchronousModel(FloodSet(2), 3, 1))
+    trace = walk(layering, layering.model.initial_state(inputs), picks)
+    for before, after in zip(trace, trace[1:]):
+        assert layering.failed_at(before) <= layering.failed_at(after)
+        assert len(layering.failed_at(after)) <= 1  # t = 1
+
+
+@given(inputs3, schedule)
+@settings(max_examples=40, deadline=None)
+def test_layer_boundaries_preserved(inputs, picks):
+    rw = SynchronicRWLayering(SharedMemoryModel(QuorumDecide(2), 3))
+    for state in walk(rw, rw.model.initial_state(inputs), picks):
+        assert rw.model.at_phase_boundary(state)
+    perm = PermutationLayering(
+        AsyncMessagePassingModel(QuorumDecide(2), 3)
+    )
+    for state in walk(perm, perm.model.initial_state(inputs), picks):
+        assert perm.model.at_phase_boundary(state)
+
+
+@given(inputs3, schedule)
+@settings(max_examples=25, deadline=None)
+def test_validity_of_floodset_decisions(inputs, picks):
+    """Along any S^t schedule, FloodSet decisions are inputs of the run."""
+    layering = StSynchronousLayering(SynchronousModel(FloodSet(2), 3, 1))
+    for state in walk(layering, layering.model.initial_state(inputs), picks):
+        for i, v in layering.decisions(state).items():
+            assert v in inputs

@@ -1,0 +1,48 @@
+"""Property-based tests for ordered partitions (IIS schedules)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.orderings import ordered_partitions
+
+FUBINI = {0: 1, 1: 1, 2: 3, 3: 13, 4: 75}
+
+
+@given(st.integers(0, 4))
+def test_fubini_counts(n):
+    assert len(ordered_partitions(range(n))) == FUBINI[n]
+
+
+@given(st.sets(st.integers(0, 6), max_size=4))
+@settings(max_examples=50)
+def test_blocks_partition_items(items):
+    for partition in ordered_partitions(sorted(items)):
+        union = set()
+        for block in partition:
+            assert block, "blocks are nonempty"
+            assert not (union & block), "blocks are disjoint"
+            union |= block
+        assert union == items
+
+
+@given(st.sets(st.integers(0, 6), min_size=1, max_size=4))
+@settings(max_examples=50)
+def test_partitions_distinct(items):
+    partitions = ordered_partitions(sorted(items))
+    assert len(partitions) == len(set(partitions))
+
+
+@given(st.sets(st.integers(0, 6), min_size=1, max_size=4))
+@settings(max_examples=50)
+def test_extremes_present(items):
+    partitions = set(ordered_partitions(sorted(items)))
+    assert (frozenset(items),) in partitions  # the single block
+    # every permutation of singletons is present
+    singleton_count = sum(
+        1
+        for p in partitions
+        if all(len(b) == 1 for b in p)
+    )
+    import math
+
+    assert singleton_count == math.factorial(len(items))

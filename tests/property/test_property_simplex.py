@@ -1,0 +1,98 @@
+"""Property-based tests for simplexes and complexes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tasks.complex import Complex, intersection_exact
+from repro.tasks.simplex import Simplex
+
+vertices = st.tuples(st.integers(0, 3), st.integers(0, 2))
+simplex_vertex_sets = st.sets(vertices, max_size=4).filter(
+    lambda vs: len({i for i, _ in vs}) == len(vs)
+)
+simplexes = simplex_vertex_sets.map(Simplex)
+complexes = st.lists(simplexes, max_size=5).map(Complex)
+
+
+@given(simplexes)
+def test_simplex_faces_are_faces(s):
+    for face in s.faces():
+        assert face <= s
+
+
+@given(simplexes)
+def test_face_count_is_powerset(s):
+    assert len(list(s.faces())) == 2 ** len(s)
+
+
+@given(simplexes, simplexes)
+def test_intersection_commutative_and_contained(a, b):
+    inter = a.intersection(b)
+    assert inter == b.intersection(a)
+    assert inter <= a and inter <= b
+
+
+@given(simplexes, st.integers(0, 3))
+def test_without_removes_id(s, i):
+    assert i not in s.without(i).ids()
+
+
+@given(simplexes, st.sets(st.integers(0, 3)))
+def test_restrict_ids_subset(s, ids):
+    r = s.restrict(ids)
+    assert r.ids() <= frozenset(ids) & s.ids()
+    assert r <= s
+
+
+@given(complexes)
+def test_complex_closed_under_faces(c):
+    for facet in c.facets:
+        for face in facet.faces():
+            assert face in c
+
+
+@given(complexes)
+def test_facets_are_maximal(c):
+    for f in c.facets:
+        for g in c.facets:
+            assert not f < g
+
+
+@given(complexes, complexes)
+@settings(max_examples=60)
+def test_intersection_matches_oracle(a, b):
+    fast = a.intersection(b)
+    slow = intersection_exact(a, b)
+    assert set(fast.simplexes()) == set(slow.simplexes())
+
+
+@given(complexes, complexes)
+@settings(max_examples=60)
+def test_intersection_is_lower_bound(a, b):
+    inter = a.intersection(b)
+    for s in inter.simplexes():
+        assert s in a and s in b
+
+
+@given(complexes, complexes)
+@settings(max_examples=60)
+def test_union_is_upper_bound(a, b):
+    u = a.union(b)
+    for s in a.simplexes():
+        assert s in u
+    for s in b.simplexes():
+        assert s in u
+
+
+@given(complexes)
+def test_union_idempotent(c):
+    assert c.union(c) == c
+
+
+@given(simplexes, simplexes)
+def test_union_of_compatible_contains_both(a, b):
+    overlap = a.ids() & b.ids()
+    if any(a.value_of(i) != b.value_of(i) for i in overlap):
+        return  # incompatible, union raises (tested elsewhere)
+    u = a.union(b)
+    assert a <= u and b <= u

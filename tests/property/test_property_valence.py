@@ -1,0 +1,105 @@
+"""Property-based tests for the valence analyzer on random toy systems."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.valence import ValenceAnalyzer
+from tests.conftest import ToySystem
+
+# Random small transition systems over states s0..s7, with terminal
+# decisions attached to a random subset.
+state_names = [f"s{i}" for i in range(8)]
+
+
+@st.composite
+def toy_systems(draw):
+    edges = {}
+    for name in state_names:
+        succ_count = draw(st.integers(1, 3))
+        targets = draw(
+            st.lists(
+                st.sampled_from(state_names),
+                min_size=succ_count,
+                max_size=succ_count,
+            )
+        )
+        edges[name] = [(f"a{k}", t) for k, t in enumerate(targets)]
+    decided = draw(st.sets(st.sampled_from(state_names), max_size=4))
+    decisions = {}
+    for name in decided:
+        value = draw(st.integers(0, 1))
+        decisions[name] = {0: value, 1: value}
+    return ToySystem(edges=edges, decisions=decisions)
+
+
+@given(toy_systems())
+@settings(max_examples=80, deadline=None)
+def test_values_contain_all_children(sys):
+    an = ValenceAnalyzer(sys)
+    for name in state_names:
+        state = sys.state(name)
+        result = an.valence(state)
+        if an.is_terminal(state):
+            continue
+        for _, child in sys.successors(state):
+            child_result = an.valence(child)
+            assert child_result.values <= result.values
+            if child_result.diverges:
+                assert result.diverges
+
+
+@given(toy_systems())
+@settings(max_examples=80, deadline=None)
+def test_own_decisions_included(sys):
+    an = ValenceAnalyzer(sys)
+    for name in state_names:
+        state = sys.state(name)
+        assert an.own_values(state) <= an.valence(state).values
+
+
+@given(toy_systems())
+@settings(max_examples=80, deadline=None)
+def test_terminal_states_do_not_diverge(sys):
+    an = ValenceAnalyzer(sys)
+    for name in state_names:
+        state = sys.state(name)
+        if an.is_terminal(state):
+            result = an.valence(state)
+            assert not result.diverges
+            assert result.values == an.own_values(state)
+
+
+@given(toy_systems())
+@settings(max_examples=80, deadline=None)
+def test_no_decisions_reachable_implies_divergence(sys):
+    """A state with no reachable decided values must diverge (the system
+    is total, so some infinite — hence cyclic — extension exists)."""
+    an = ValenceAnalyzer(sys)
+    for name in state_names:
+        result = an.valence(sys.state(name))
+        if not result.values:
+            assert result.diverges
+
+
+@given(toy_systems())
+@settings(max_examples=50, deadline=None)
+def test_valence_matches_naive_reachability(sys):
+    """Cross-check values against a plain BFS reachability oracle."""
+    an = ValenceAnalyzer(sys)
+    for name in state_names:
+        root = sys.state(name)
+        # naive: collect own_values over every reachable state, stopping
+        # expansion at terminal states (as the analyzer defines them)
+        seen = {root}
+        frontier = [root]
+        expected = set()
+        while frontier:
+            state = frontier.pop()
+            expected |= an.own_values(state)
+            if an.is_terminal(state):
+                continue
+            for _, child in sys.successors(state):
+                if child not in seen:
+                    seen.add(child)
+                    frontier.append(child)
+        assert an.valence(root).values == frozenset(expected)

@@ -1,0 +1,102 @@
+"""Unit tests for the candidate protocols (gossip skeleton + rules)."""
+
+import pytest
+
+from repro.protocols.candidates import (
+    GossipState,
+    QuorumDecide,
+    WaitForAll,
+    make_rule_candidate,
+)
+from repro.protocols.full_information import decide_min_observed
+
+
+class TestGossipSkeleton:
+    def test_initial_seen_own_pair(self):
+        p = WaitForAll()
+        s = p.initial_local(1, 3, 0)
+        assert s.seen == frozenset({(1, 0)})
+        assert p.decision(1, 3, s) is None
+
+    def test_emit_is_seen_set(self):
+        p = WaitForAll()
+        s = p.initial_local(1, 3, 0)
+        assert p.emit(1, 3, s) == s.seen
+
+    def test_observe_merges_frozensets_only(self):
+        p = WaitForAll()
+        s = p.initial_local(0, 3, 0)
+        s1 = p.observe(
+            0, 3, s, ((1, frozenset({(1, 1)})), (2, "⊥"))
+        )
+        assert s1.seen == frozenset({(0, 0), (1, 1)})
+
+    def test_outgoing_derived_from_emit(self):
+        p = WaitForAll()
+        s = p.initial_local(0, 3, 0)
+        out = p.outgoing(0, 3, s)
+        assert set(out) == {1, 2}
+        assert out[1] == s.seen
+
+    def test_write_value_derived_from_emit(self):
+        p = WaitForAll()
+        s = p.initial_local(0, 3, 0)
+        assert p.write_value(0, 3, s) == s.seen
+
+
+class TestQuorumDecide:
+    def test_quorum_validated(self):
+        with pytest.raises(ValueError):
+            QuorumDecide(0)
+
+    def test_decides_min_at_quorum(self):
+        p = QuorumDecide(2)
+        s = p.initial_local(0, 3, 1)
+        s1 = p.observe(0, 3, s, ((2, frozenset({(2, 0)})),))
+        assert p.decision(0, 3, s1) == 0
+
+    def test_undecided_below_quorum(self):
+        p = QuorumDecide(3)
+        s = p.initial_local(0, 3, 1)
+        s1 = p.observe(0, 3, s, ((2, frozenset({(2, 0)})),))
+        assert p.decision(0, 3, s1) is None
+
+    def test_decision_stable_after_more_observations(self):
+        p = QuorumDecide(2)
+        s = p.initial_local(0, 3, 1)
+        s1 = p.observe(0, 3, s, ((2, frozenset({(2, 1)})),))
+        assert s1.decided == 1
+        s2 = p.observe(0, 3, s1, ((1, frozenset({(1, 0)})),))
+        assert s2.decided == 1  # write-once, even seeing a smaller value
+
+    def test_quorum_counts_distinct_pids(self):
+        p = QuorumDecide(2)
+        s = p.initial_local(0, 3, 1)
+        # same pid twice is one pid
+        s1 = p.observe(0, 3, s, ((0, frozenset({(0, 1)})),))
+        assert p.decision(0, 3, s1) is None
+
+
+class TestWaitForAll:
+    def test_needs_everyone(self):
+        p = WaitForAll()
+        s = p.initial_local(0, 3, 1)
+        s1 = p.observe(0, 3, s, ((1, frozenset({(1, 0)})),))
+        assert p.decision(0, 3, s1) is None
+        s2 = p.observe(0, 3, s1, ((2, frozenset({(2, 1)})),))
+        assert p.decision(0, 3, s2) == 0
+
+    def test_agreement_by_construction(self):
+        # any two deciders saw the identical full pid set
+        p = WaitForAll()
+        full = frozenset({(0, 1), (1, 0), (2, 1)})
+        a = GossipState(0, 1, full)
+        b = GossipState(2, 1, full)
+        assert p.maybe_decide(0, 3, a) == p.maybe_decide(2, 3, b)
+
+
+class TestRuleCandidate:
+    def test_factory(self):
+        p = make_rule_candidate(2, decide_min_observed, "min")
+        assert p.phases == 2
+        assert "min" in p.name()

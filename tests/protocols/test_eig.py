@@ -1,0 +1,86 @@
+"""Unit tests for Exponential Information Gathering."""
+
+import pytest
+
+from repro.protocols.eig import EIG, EIGState
+
+
+@pytest.fixture
+def proto():
+    return EIG(rounds=2)
+
+
+class TestTree:
+    def test_initial_root(self, proto):
+        s = proto.initial_local(0, 3, 5)
+        assert s.value_at(()) == 5
+        assert s.level(0) == frozenset({((), 5)})
+
+    def test_rounds_validated(self):
+        with pytest.raises(ValueError):
+            EIG(0)
+
+    def test_round1_sends_root(self, proto):
+        s = proto.initial_local(0, 3, 5)
+        out = proto.outgoing(0, 3, s)
+        assert out[1] == frozenset({((), 5)})
+
+    def test_round1_receives_level1(self, proto):
+        s = proto.initial_local(0, 3, 0)
+        s1 = proto.transition(
+            0, 3, s, {1: frozenset({((), 1)})}
+        )
+        assert s1.value_at((1,)) == 1
+        assert s1.round == 1
+
+    def test_round2_relays_level1(self, proto):
+        s = proto.initial_local(0, 3, 0)
+        s1 = proto.transition(0, 3, s, {1: frozenset({((), 1)})})
+        out = proto.outgoing(0, 3, s1)
+        assert ((1,), 1) in out[2]
+        # root not re-sent at round 2
+        assert ((), 0) not in out[2]
+
+    def test_relay_label_extension(self, proto):
+        s = proto.initial_local(0, 3, 0)
+        s1 = proto.transition(0, 3, s, {1: frozenset({((), 1)})})
+        s2 = proto.transition(
+            0, 3, s1, {2: frozenset({((1,), 1)})}
+        )
+        assert s2.value_at((1, 2)) == 1
+
+    def test_duplicate_sender_in_label_ignored(self, proto):
+        s = proto.initial_local(0, 3, 0)
+        s1 = proto.transition(0, 3, s, {1: frozenset({((), 1)})})
+        s2 = proto.transition(
+            0, 3, s1, {1: frozenset({((1,), 9)})}
+        )
+        assert s2.value_at((1, 1)) is None
+
+    def test_wrong_level_ignored(self, proto):
+        s = proto.initial_local(0, 3, 0)
+        # a level-1 node delivered at round 1 (expects level-0) is dropped
+        s1 = proto.transition(0, 3, s, {1: frozenset({((2,), 1)})})
+        assert s1.value_at((2, 1)) is None
+
+
+class TestDecision:
+    def test_decides_min_over_tree(self, proto):
+        s = proto.initial_local(0, 3, 2)
+        s1 = proto.transition(0, 3, s, {1: frozenset({((), 1)})})
+        s2 = proto.transition(0, 3, s1, {2: frozenset({((1,), 0)})})
+        assert proto.decision(0, 3, s2) == 0
+
+    def test_freezes_after_final_round(self, proto):
+        s = proto.initial_local(0, 3, 2)
+        s1 = proto.transition(0, 3, s, {})
+        s2 = proto.transition(0, 3, s1, {})
+        s3 = proto.transition(0, 3, s2, {1: frozenset({((), 0)})})
+        assert s3 == s2
+        assert proto.outgoing(0, 3, s2) == {}
+
+    def test_state_hashable(self, proto):
+        s = proto.initial_local(1, 3, 4)
+        assert hash(s) == hash(
+            EIGState(4, frozenset({((), 4)}), 0)
+        )

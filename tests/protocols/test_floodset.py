@@ -1,0 +1,66 @@
+"""Unit tests for FloodSet."""
+
+import pytest
+
+from repro.protocols.base import MessageBatch
+from repro.protocols.floodset import FloodSet, FloodSetState
+
+
+@pytest.fixture
+def proto():
+    return FloodSet(rounds=2)
+
+
+class TestBasics:
+    def test_initial(self, proto):
+        s = proto.initial_local(0, 3, 1)
+        assert s.known == frozenset({1})
+        assert s.round == 0
+        assert proto.decision(0, 3, s) is None
+
+    def test_rounds_validated(self):
+        with pytest.raises(ValueError):
+            FloodSet(0)
+
+    def test_outgoing_broadcast(self, proto):
+        s = proto.initial_local(0, 3, 1)
+        out = proto.outgoing(0, 3, s)
+        assert set(out) == {1, 2}
+        assert out[1] == frozenset({1})
+
+    def test_transition_unions(self, proto):
+        s = proto.initial_local(0, 3, 1)
+        s1 = proto.transition(0, 3, s, {1: frozenset({0})})
+        assert s1.known == frozenset({0, 1})
+        assert s1.round == 1
+
+    def test_decides_at_final_round(self, proto):
+        s = proto.initial_local(0, 3, 1)
+        s1 = proto.transition(0, 3, s, {1: frozenset({0})})
+        s2 = proto.transition(0, 3, s1, {})
+        assert proto.decision(0, 3, s2) == 0
+
+    def test_freezes_after_decision(self, proto):
+        s = proto.initial_local(0, 3, 1)
+        s1 = proto.transition(0, 3, s, {})
+        s2 = proto.transition(0, 3, s1, {})
+        s3 = proto.transition(0, 3, s2, {2: frozenset({0})})
+        assert s3 == s2
+        assert proto.outgoing(0, 3, s2) == {}
+
+    def test_batch_payloads_unioned(self, proto):
+        s = proto.initial_local(0, 3, 1)
+        batch = MessageBatch((frozenset({0}), frozenset({0, 1})))
+        s1 = proto.transition(0, 3, s, {1: batch})
+        assert s1.known == frozenset({0, 1})
+
+    def test_custom_choose(self):
+        proto = FloodSet(1, choose=max, choose_name="max")
+        s = proto.initial_local(0, 3, 0)
+        s1 = proto.transition(0, 3, s, {1: frozenset({1})})
+        assert proto.decision(0, 3, s1) == 1
+        assert "max" in proto.name()
+
+    def test_state_hashable(self, proto):
+        s = proto.initial_local(0, 3, 1)
+        assert hash(s) == hash(FloodSetState(1, frozenset({1}), 0))

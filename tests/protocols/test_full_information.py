@@ -1,0 +1,122 @@
+"""Unit tests for the truncated full-information protocol."""
+
+import pytest
+
+from repro.protocols.base import MessageBatch
+from repro.protocols.full_information import (
+    FullInformationProtocol,
+    View,
+    decide_constant,
+    decide_min_observed,
+    decide_own_input,
+)
+
+
+@pytest.fixture
+def fi():
+    return FullInformationProtocol(phases=2)
+
+
+class TestViews:
+    def test_initial_view(self, fi):
+        v = fi.initial_local(0, 3, 7)
+        assert v.pid == 0 and v.input == 7 and v.phase == 0
+        assert v.history == ()
+        assert fi.decision(0, 3, v) is None
+
+    def test_emit_is_whole_view(self, fi):
+        v = fi.initial_local(1, 3, 0)
+        assert fi.emit(1, 3, v) is v
+
+    def test_observe_advances_phase(self, fi):
+        v = fi.initial_local(0, 3, 0)
+        other = fi.initial_local(1, 3, 1)
+        v1 = fi.observe(0, 3, v, ((1, other),))
+        assert v1.phase == 1
+        assert v1.history == (((1, other),),)
+
+    def test_freeze_at_bound(self, fi):
+        v = fi.initial_local(0, 3, 0)
+        v1 = fi.observe(0, 3, v, ())
+        v2 = fi.observe(0, 3, v1, ())
+        assert v2.phase == 2
+        assert fi.emit(0, 3, v2) is None
+        v3 = fi.observe(0, 3, v2, ())
+        assert v3 == v2  # identity after freezing
+
+    def test_hashable(self, fi):
+        v = fi.initial_local(0, 3, 0)
+        v1 = fi.observe(0, 3, v, ((1, fi.initial_local(1, 3, 1)),))
+        assert hash(v1) == hash(
+            fi.observe(0, 3, v, ((1, fi.initial_local(1, 3, 1)),))
+        )
+
+    def test_zero_phase_decides_immediately(self):
+        fi0 = FullInformationProtocol(0, decide_own_input, "own")
+        v = fi0.initial_local(2, 3, 1)
+        assert v.decided == 1
+
+    def test_negative_phases_rejected(self):
+        with pytest.raises(ValueError):
+            FullInformationProtocol(-1)
+
+
+class TestObservedInputs:
+    def test_direct_observation(self, fi):
+        v = fi.initial_local(0, 3, 0)
+        other = fi.initial_local(1, 3, 1)
+        v1 = fi.observe(0, 3, v, ((1, other),))
+        assert v1.observed_inputs() == frozenset({0, 1})
+
+    def test_transitive_observation(self, fi):
+        a = fi.initial_local(0, 3, 0)
+        b = fi.initial_local(1, 3, 1)
+        b1 = fi.observe(1, 3, b, ((2, fi.initial_local(2, 3, 2)),))
+        a1 = fi.observe(0, 3, a, ((1, b1),))
+        assert a1.observed_inputs() == frozenset({0, 1, 2})
+
+    def test_heard_from(self, fi):
+        v = fi.initial_local(0, 3, 0)
+        v1 = fi.observe(0, 3, v, ((2, fi.initial_local(2, 3, 1)),))
+        assert v1.heard_from() == frozenset({2})
+
+
+class TestDecisionRules:
+    def test_min_observed(self, fi):
+        rule_fi = FullInformationProtocol(1, decide_min_observed, "min")
+        v = rule_fi.initial_local(0, 3, 1)
+        v1 = rule_fi.observe(0, 3, v, ((1, rule_fi.initial_local(1, 3, 0)),))
+        assert v1.decided == 0
+
+    def test_constant(self):
+        rule_fi = FullInformationProtocol(1, decide_constant(9), "c9")
+        v = rule_fi.initial_local(0, 3, 1)
+        v1 = rule_fi.observe(0, 3, v, ())
+        assert v1.decided == 9
+
+    def test_own_input(self):
+        rule_fi = FullInformationProtocol(1, decide_own_input, "own")
+        v = rule_fi.initial_local(0, 3, 1)
+        assert rule_fi.observe(0, 3, v, ()).decided == 1
+
+    def test_decision_write_once(self):
+        rule_fi = FullInformationProtocol(1, decide_own_input, "own")
+        v = rule_fi.initial_local(0, 3, 1)
+        v1 = rule_fi.observe(0, 3, v, ())
+        v2 = rule_fi.observe(0, 3, v1, ())
+        assert v2.decided == v1.decided
+
+
+class TestMessageBatchHandling:
+    def test_transition_takes_last_of_batch(self, fi):
+        v = fi.initial_local(0, 3, 0)
+        old = fi.initial_local(1, 3, 1)
+        newer = fi.observe(1, 3, old, ())
+        v1 = fi.transition(0, 3, v, {1: MessageBatch((old, newer))})
+        (observation,) = v1.history
+        assert observation == ((1, newer),)
+
+    def test_names(self, fi):
+        assert "FullInformation" in fi.name()
+        named = FullInformationProtocol(1, decide_own_input, "own")
+        assert "own" in named.name()

@@ -1,0 +1,93 @@
+"""Unit tests for the solvable-task protocols."""
+
+import pytest
+
+from repro.protocols.tasks import (
+    DecideConstantProtocol,
+    DecideOwnInput,
+    EpsilonAgreementProtocol,
+    KSetAgreementProtocol,
+)
+
+
+class TestTrivialProtocols:
+    def test_own_input(self):
+        p = DecideOwnInput()
+        s = p.initial_local(1, 3, 7)
+        assert p.decision(1, 3, s) == 7
+
+    def test_constant(self):
+        p = DecideConstantProtocol(3)
+        s = p.initial_local(0, 3, 9)
+        assert p.decision(0, 3, s) == 3
+        assert "3" in p.name()
+
+
+class TestEpsilonAgreement:
+    def setup_method(self):
+        self.p = EpsilonAgreementProtocol()
+
+    def observe(self, s, pid, pairs):
+        return self.p.observe(0, 3, s, ((pid, frozenset(pairs)),))
+
+    def test_undecided_below_quorum(self):
+        s = self.p.initial_local(0, 3, 0)
+        assert self.p.decision(0, 3, s) is None
+
+    def test_unanimous_zero_endpoint(self):
+        s = self.p.initial_local(0, 3, 0)
+        s = self.observe(s, 1, {(1, 0)})
+        assert self.p.decision(0, 3, s) == 0
+
+    def test_unanimous_one_endpoint(self):
+        s = self.p.initial_local(0, 3, 1)
+        s = self.observe(s, 2, {(2, 1)})
+        assert self.p.decision(0, 3, s) == 2
+
+    def test_mixed_midpoint(self):
+        s = self.p.initial_local(0, 3, 0)
+        s = self.observe(s, 1, {(1, 1)})
+        assert self.p.decision(0, 3, s) == 1
+
+    def test_window_property_exhaustive_quorums(self):
+        """No pair of (n-1)-quorums over the same inputs can decide
+        endpoints 0 and 2 simultaneously (n=3)."""
+        from itertools import combinations, product
+
+        for inputs in product((0, 1), repeat=3):
+            pairs = set(enumerate(inputs))
+            decisions = set()
+            for quorum in combinations(pairs, 2):
+                values = {v for _, v in quorum}
+                if values == {0}:
+                    decisions.add(0)
+                elif values == {1}:
+                    decisions.add(2)
+                else:
+                    decisions.add(1)
+            assert max(decisions) - min(decisions) <= 1, inputs
+
+
+class TestKSetAgreement:
+    def test_k1_rejected(self):
+        with pytest.raises(ValueError):
+            KSetAgreementProtocol(1)
+
+    def test_decides_min_of_quorum(self):
+        p = KSetAgreementProtocol(2)
+        s = p.initial_local(0, 3, 2)
+        s = p.observe(0, 3, s, ((1, frozenset({(1, 1)})),))
+        assert p.decision(0, 3, s) == 1
+
+    def test_at_most_two_values_across_quorums(self):
+        """Every (n-1)-quorum's min is the global min or second min."""
+        from itertools import combinations, product
+
+        for inputs in product((0, 1, 2), repeat=3):
+            pairs = list(enumerate(inputs))
+            mins = {
+                min(v for _, v in quorum)
+                for quorum in combinations(pairs, 2)
+            }
+            mins.add(min(inputs))  # full-view deciders
+            assert len(mins) <= 2, inputs

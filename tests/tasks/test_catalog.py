@@ -1,0 +1,106 @@
+"""Unit tests for the task catalog."""
+
+import pytest
+
+from repro.tasks.catalog import (
+    CATALOG,
+    EXPECTED_SOLVABLE,
+    binary_consensus,
+    constant_task,
+    epsilon_agreement,
+    identity_task,
+    k_set_agreement,
+    leader_election,
+)
+from repro.tasks.simplex import Simplex
+
+
+def sx(values):
+    return Simplex.from_values(values)
+
+
+class TestCatalogShape:
+    def test_every_task_has_expectation(self):
+        assert set(CATALOG) == set(EXPECTED_SOLVABLE)
+
+    def test_every_factory_builds(self):
+        for name, factory in CATALOG.items():
+            problem = factory(3)
+            assert problem.n == 3
+            assert problem.input_facets()
+
+
+class TestConsensus:
+    def test_output_facets(self):
+        problem = binary_consensus(3)
+        assert len(problem.outputs.facets) == 2
+
+    def test_validity_encoded(self):
+        problem = binary_consensus(3)
+        assert not problem.acceptable(sx([0, 0, 0]), sx([1, 1, 1]))
+        assert problem.acceptable(sx([0, 1, 1]), sx([1, 1, 1]))
+
+
+class TestElection:
+    def test_all_zero_input_excluded(self):
+        problem = leader_election(3)
+        assert sx([0, 0, 0]) not in problem.inputs
+
+    def test_sole_candidate_forced(self):
+        problem = leader_election(3)
+        sole = sx([0, 1, 0])  # only process 1 is a candidate
+        assert problem.acceptable(sole, sx([1, 1, 1]))
+        assert not problem.acceptable(sole, sx([0, 0, 0]))
+
+    def test_multi_candidate_choice(self):
+        problem = leader_election(3)
+        multi = sx([1, 1, 0])
+        assert problem.acceptable(multi, sx([0, 0, 0]))
+        assert problem.acceptable(multi, sx([1, 1, 1]))
+        assert not problem.acceptable(multi, sx([2, 2, 2]))
+
+
+class TestKSet:
+    def test_k_range_enforced(self):
+        with pytest.raises(ValueError):
+            k_set_agreement(3, 0)
+        with pytest.raises(ValueError):
+            k_set_agreement(3, 4)
+
+    def test_two_values_allowed(self):
+        problem = k_set_agreement(3, 2)
+        rainbow = sx([0, 1, 2])
+        assert problem.acceptable(rainbow, sx([0, 1, 1]))
+        assert not problem.acceptable(rainbow, sx([0, 1, 2]))
+
+    def test_values_must_be_inputs(self):
+        problem = k_set_agreement(3, 2)
+        assert not problem.acceptable(sx([0, 0, 1]), sx([2, 2, 2]))
+
+
+class TestEpsilon:
+    def test_unanimous_endpoints(self):
+        problem = epsilon_agreement(3)
+        assert problem.acceptable(sx([0, 0, 0]), sx([0, 0, 0]))
+        assert not problem.acceptable(sx([0, 0, 0]), sx([1, 1, 1]))
+        assert problem.acceptable(sx([1, 1, 1]), sx([2, 2, 2]))
+
+    def test_mixed_window(self):
+        problem = epsilon_agreement(3)
+        mixed = sx([0, 1, 1])
+        assert problem.acceptable(mixed, sx([0, 1, 0]))
+        assert problem.acceptable(mixed, sx([1, 2, 2]))
+        assert not problem.acceptable(mixed, sx([0, 2, 1]))
+
+
+class TestTrivialTasks:
+    def test_identity_delta_is_input(self):
+        problem = identity_task(3)
+        s = sx([0, 1, 0])
+        assert problem.acceptable(s, s)
+        assert not problem.acceptable(s, sx([1, 1, 0]))
+
+    def test_constant_single_output(self):
+        problem = constant_task(3)
+        assert problem.acceptable(sx([1, 1, 1]), sx([0, 0, 0]))
+        assert not problem.acceptable(sx([1, 1, 1]), sx([0, 1, 0]))

@@ -1,0 +1,103 @@
+"""Unit tests for simplicial complexes."""
+
+from repro.tasks.complex import (
+    Complex,
+    full_complex,
+    intersection_exact,
+)
+from repro.tasks.simplex import EMPTY_SIMPLEX, Simplex
+
+
+def sx(*pairs):
+    return Simplex(pairs)
+
+
+class TestConstruction:
+    def test_facets_maximal_only(self):
+        big = sx((0, 1), (1, 2))
+        small = sx((0, 1))
+        c = Complex([big, small])
+        assert c.facets == frozenset({big})
+
+    def test_duplicate_facets_collapse(self):
+        c = Complex([sx((0, 1)), sx((0, 1))])
+        assert len(c.facets) == 1
+
+    def test_empty_complex_falsey(self):
+        assert not Complex()
+        assert Complex([sx((0, 1))])
+
+    def test_equality_and_hash(self):
+        a = Complex([sx((0, 1)), sx((1, 2))])
+        b = Complex([sx((1, 2)), sx((0, 1))])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestMembership:
+    def test_faces_belong(self):
+        c = Complex([sx((0, 1), (1, 2))])
+        assert sx((0, 1)) in c
+        assert sx((1, 2)) in c
+        assert EMPTY_SIMPLEX in c
+
+    def test_non_faces_absent(self):
+        c = Complex([sx((0, 1), (1, 2))])
+        assert sx((0, 9)) not in c
+        assert sx((2, 1)) not in c
+
+    def test_simplexes_enumeration(self):
+        c = Complex([sx((0, 1), (1, 2))])
+        all_simplexes = set(c.simplexes())
+        assert len(all_simplexes) == 4
+
+    def test_size_simplexes(self):
+        c = Complex([sx((0, 1), (1, 2)), sx((0, 9), (1, 2))])
+        assert len(c.size_simplexes(2)) == 2
+        assert len(c.size_simplexes(1)) == 3
+
+    def test_vertices(self):
+        c = Complex([sx((0, 1), (1, 2))])
+        assert c.vertices() == frozenset({(0, 1), (1, 2)})
+
+    def test_dimension(self):
+        assert Complex([sx((0, 1), (1, 2), (2, 3))]).dimension() == 3
+        assert Complex().dimension() == 0
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = Complex([sx((0, 1))])
+        b = Complex([sx((1, 2))])
+        u = a.union(b)
+        assert sx((0, 1)) in u and sx((1, 2)) in u
+
+    def test_intersection_shared_face(self):
+        a = Complex([sx((0, 1), (1, 2))])
+        b = Complex([sx((0, 1), (1, 9))])
+        inter = a.intersection(b)
+        assert sx((0, 1)) in inter
+        assert sx((1, 2)) not in inter
+
+    def test_intersection_matches_exact_oracle(self):
+        a = Complex([sx((0, 1), (1, 2)), sx((0, 5), (1, 2))])
+        b = Complex([sx((0, 1), (1, 2), (2, 7)), sx((0, 5))])
+        fast = a.intersection(b)
+        slow = intersection_exact(a, b)
+        assert set(fast.simplexes()) == set(slow.simplexes())
+
+    def test_restrict_ids(self):
+        c = Complex([sx((0, 1), (1, 2), (2, 3))])
+        r = c.restrict_ids([0, 2])
+        assert sx((0, 1), (2, 3)) in r
+        assert sx((1, 2)) not in r
+
+
+class TestFullComplex:
+    def test_binary_facet_count(self):
+        c = full_complex(3, (0, 1))
+        assert len(c.size_simplexes(3)) == 8
+
+    def test_contains_every_assignment(self):
+        c = full_complex(2, (0, 1))
+        assert Simplex.from_values([1, 0]) in c

@@ -1,0 +1,75 @@
+"""Unit tests for s-diameters and the composition bounds (Lemma 7.6)."""
+
+import pytest
+
+from repro.layerings.s1_mobile import S1MobileLayering
+from repro.models.mobile import MobileModel
+from repro.protocols.full_information import FullInformationProtocol
+from repro.tasks.diameter import (
+    check_lemma_7_6,
+    layer_image,
+    lemma_7_6_bound,
+    measured_layer_diameters,
+    theorem_7_7_series,
+)
+
+
+@pytest.fixture
+def layering():
+    return S1MobileLayering(MobileModel(FullInformationProtocol(3), 3))
+
+
+class TestBound:
+    def test_formula(self):
+        assert lemma_7_6_bound(2, 3) == 2 * 3 + 2 + 3
+        assert lemma_7_6_bound(0, 5) == 5
+        assert lemma_7_6_bound(4, 0) == 4
+
+    def test_series_shape(self):
+        series = theorem_7_7_series(n=3, t=2, d_initial=3)
+        assert len(series) == 3
+        assert series[0] == 3
+        # d_Y^0 = 2*3 = 6: next = 3*6+3+6 = 27
+        assert series[1] == 27
+        # d_Y^1 = 2*2 = 4: next = 27*4+27+4 = 139
+        assert series[2] == 139
+
+    def test_series_monotone(self):
+        series = theorem_7_7_series(4, 3, 4)
+        assert all(a < b for a, b in zip(series, series[1:]))
+
+
+class TestMeasured:
+    def test_layer_image_dedupes(self, layering):
+        state = layering.model.initial_state((0, 1, 1))
+        image = layer_image(layering, [state, state])
+        assert len(image) == len(set(image))
+
+    def test_initial_set_measurement(self, layering):
+        initials = layering.model.initial_states((0, 1))
+        d_x, d_y, d_image = measured_layer_diameters(layering, initials)
+        # Con_0 for n=3 is a 3-cube: diameter 3
+        assert d_x == 3
+        assert d_y >= 1
+        assert d_image >= 1
+
+    def test_lemma_7_6_holds_on_initials(self, layering):
+        initials = layering.model.initial_states((0, 1))
+        report = check_lemma_7_6(layering, initials)
+        assert report["holds"]
+        assert report["d_S(X)"] <= report["bound"]
+
+    def test_precondition_enforced(self, layering):
+        model = layering.model
+        corners = [
+            model.initial_state((0, 0, 0)),
+            model.initial_state((1, 1, 1)),
+        ]
+        with pytest.raises(ValueError):
+            check_lemma_7_6(layering, corners)
+
+    def test_singleton_set(self, layering):
+        state = layering.model.initial_state((0, 1, 1))
+        report = check_lemma_7_6(layering, [state])
+        assert report["d_X"] == 0
+        assert report["holds"]

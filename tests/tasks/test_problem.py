@@ -1,0 +1,108 @@
+"""Unit tests for decision problems and subproblem enumeration."""
+
+import pytest
+
+from repro.tasks.catalog import binary_consensus, identity_task
+from repro.tasks.complex import Complex, full_complex
+from repro.tasks.problem import DecisionProblem, delta_from_rule
+from repro.tasks.simplex import Simplex
+
+
+class TestConstruction:
+    def test_delta_must_cover_facets(self):
+        inputs = full_complex(2, (0, 1))
+        outputs = full_complex(2, (0, 1))
+        with pytest.raises(ValueError):
+            DecisionProblem("bad", 2, inputs, outputs, delta={})
+
+    def test_delta_must_stay_in_outputs(self):
+        inputs = full_complex(2, (0, 1))
+        outputs = Complex([Simplex.from_values([0, 0])])
+        delta = delta_from_rule(
+            inputs, 2, lambda s: [Simplex.from_values([1, 1])]
+        )
+        with pytest.raises(ValueError):
+            DecisionProblem("bad", 2, inputs, outputs, delta=delta)
+
+    def test_delta_from_rule_shape(self):
+        problem = binary_consensus(3)
+        assert len(problem.delta) == 8
+
+
+class TestAcceptability:
+    def test_unanimous_forces_matching_output(self):
+        problem = binary_consensus(3)
+        zeros = Simplex.from_values([0, 0, 0])
+        ones = Simplex.from_values([1, 1, 1])
+        assert problem.acceptable(zeros, zeros)
+        assert not problem.acceptable(zeros, ones)
+
+    def test_partial_decision_acceptable_as_face(self):
+        problem = binary_consensus(3)
+        mixed = Simplex.from_values([0, 1, 1])
+        partial = Simplex([(0, 1), (2, 1)])
+        assert problem.acceptable(mixed, partial)
+
+    def test_disagreeing_partial_rejected(self):
+        problem = binary_consensus(3)
+        mixed = Simplex.from_values([0, 1, 1])
+        split = Simplex([(0, 0), (1, 1)])
+        assert not problem.acceptable(mixed, split)
+
+    def test_empty_decision_always_acceptable(self):
+        problem = binary_consensus(3)
+        mixed = Simplex.from_values([0, 1, 1])
+        assert problem.acceptable(mixed, Simplex())
+
+
+class TestDeltaComplex:
+    def test_full_input_set(self):
+        problem = binary_consensus(3)
+        c = problem.delta_complex(problem.input_facets())
+        assert len(c.size_simplexes(3)) == 2
+
+    def test_unanimous_only(self):
+        problem = binary_consensus(3)
+        zeros = Simplex.from_values([0, 0, 0])
+        c = problem.delta_complex([zeros])
+        assert len(c.size_simplexes(3)) == 1
+
+
+class TestSubproblems:
+    def test_count_for_consensus(self):
+        problem = binary_consensus(3)
+        # 2 unanimous facets with 1 choice, 6 mixed with 3 nonempty
+        # subsets of {all0, all1}: 3^6 = 729
+        subs = list(problem.subproblems())
+        assert len(subs) == 729
+
+    def test_subproblems_shrink_delta(self):
+        problem = binary_consensus(3)
+        for sub in problem.subproblems(max_count=10):
+            for facet, out in sub.delta.items():
+                for f in out.facets:
+                    assert f in problem.delta[facet]
+
+    def test_max_count_respected(self):
+        problem = binary_consensus(3)
+        assert len(list(problem.subproblems(max_count=5))) == 5
+
+    def test_restrict_delta(self):
+        problem = binary_consensus(3)
+        zeros = Simplex.from_values([0, 0, 0])
+
+        def chooser(s, out):
+            if zeros in out:
+                return Complex([zeros])
+            return out
+
+        sub = problem.restrict_delta(chooser)
+        mixed = Simplex.from_values([0, 1, 1])
+        assert sub.delta[mixed] == Complex([zeros])
+
+    def test_restrict_delta_cannot_enlarge(self):
+        problem = identity_task(2)
+        bigger = Simplex.from_values([9, 9])
+
+        with pytest.raises(ValueError):
+            problem.restrict_delta(lambda s, out: Complex([bigger]))

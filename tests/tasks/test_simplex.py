@@ -1,0 +1,103 @@
+"""Unit tests for vertices and simplexes."""
+
+import pytest
+
+from repro.tasks.simplex import EMPTY_SIMPLEX, Simplex
+
+
+class TestConstruction:
+    def test_from_values(self):
+        s = Simplex.from_values([4, 5, 6])
+        assert s.value_of(0) == 4
+        assert s.value_of(2) == 6
+        assert len(s) == 3
+
+    def test_from_mapping(self):
+        s = Simplex.from_mapping({2: "a", 0: "b"})
+        assert s.ids() == frozenset({0, 2})
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Simplex([(0, "a"), (0, "b")])
+
+    def test_duplicate_vertices_collapse(self):
+        s = Simplex([(0, "a"), (0, "a")])
+        assert len(s) == 1
+
+    def test_empty(self):
+        assert len(EMPTY_SIMPLEX) == 0
+        assert EMPTY_SIMPLEX == Simplex()
+
+
+class TestIdentity:
+    def test_equality_order_independent(self):
+        assert Simplex([(0, 1), (1, 2)]) == Simplex([(1, 2), (0, 1)])
+
+    def test_hash_consistent(self):
+        assert hash(Simplex([(0, 1)])) == hash(Simplex([(0, 1)]))
+
+    def test_face_relation(self):
+        small = Simplex([(0, 1)])
+        big = Simplex([(0, 1), (1, 2)])
+        assert small <= big
+        assert small < big
+        assert not big <= small
+        assert EMPTY_SIMPLEX <= small
+
+
+class TestOperations:
+    def test_values(self):
+        s = Simplex.from_values([1, 1, 2])
+        assert s.values() == frozenset({1, 2})
+
+    def test_value_of_missing_raises(self):
+        with pytest.raises(KeyError):
+            Simplex([(0, 1)]).value_of(5)
+
+    def test_restrict(self):
+        s = Simplex.from_values([1, 2, 3])
+        assert s.restrict([0, 2]) == Simplex([(0, 1), (2, 3)])
+        assert s.restrict([9]) == EMPTY_SIMPLEX
+
+    def test_without(self):
+        s = Simplex.from_values([1, 2])
+        assert s.without(0) == Simplex([(1, 2)])
+        assert s.without(7) == s
+
+    def test_union(self):
+        a = Simplex([(0, 1)])
+        b = Simplex([(1, 2)])
+        assert a.union(b) == Simplex([(0, 1), (1, 2)])
+
+    def test_union_conflict_rejected(self):
+        with pytest.raises(ValueError):
+            Simplex([(0, 1)]).union(Simplex([(0, 2)]))
+
+    def test_intersection(self):
+        a = Simplex([(0, 1), (1, 2)])
+        b = Simplex([(0, 1), (1, 9)])
+        assert a.intersection(b) == Simplex([(0, 1)])
+
+    def test_as_mapping(self):
+        s = Simplex.from_values(["x", "y"])
+        assert s.as_mapping() == {0: "x", 1: "y"}
+
+    def test_iteration_sorted(self):
+        s = Simplex([(2, "c"), (0, "a")])
+        assert list(s) == [(0, "a"), (2, "c")]
+
+
+class TestFaces:
+    def test_all_faces_count(self):
+        s = Simplex.from_values([1, 2])
+        faces = list(s.faces())
+        assert len(faces) == 4  # {}, {0}, {1}, {0,1}
+
+    def test_faces_of_size(self):
+        s = Simplex.from_values([1, 2, 3])
+        assert len(list(s.faces(size=2))) == 3
+
+    def test_contains_vertex(self):
+        s = Simplex.from_values([1, 2])
+        assert (0, 1) in s
+        assert (0, 2) not in s

@@ -1,0 +1,126 @@
+"""Unit tests for k-thick-connectivity."""
+
+import pytest
+
+from repro.tasks.catalog import (
+    binary_consensus,
+    epsilon_agreement,
+    identity_task,
+    k_set_agreement,
+    leader_election,
+)
+from repro.tasks.complex import Complex
+from repro.tasks.simplex import Simplex
+from repro.tasks.thick import (
+    input_adjacency_graph,
+    is_k_thick_connected,
+    problem_is_k_thick_connected,
+    similarity_connected_input_sets,
+    thick_graph,
+    witnessing_subproblem,
+)
+
+
+def sx(values):
+    return Simplex.from_values(values)
+
+
+class TestComplexLevel:
+    def test_disjoint_facets_disconnected(self):
+        c = Complex([sx([0, 0, 0]), sx([1, 1, 1])])
+        assert not is_k_thick_connected(c, 3, 1)
+        # even 2-thick fails (they share nothing, need 1-size face)
+        assert not is_k_thick_connected(c, 3, 2)
+        # 3-thick always holds (empty face suffices)
+        assert is_k_thick_connected(c, 3, 3)
+
+    def test_shared_face_connected(self):
+        c = Complex([sx([0, 0, 0]), sx([0, 0, 1])])
+        assert is_k_thick_connected(c, 3, 1)
+
+    def test_chain_of_facets(self):
+        c = Complex([sx([0, 0, 0]), sx([0, 0, 1]), sx([0, 1, 1])])
+        g = thick_graph(c, 3, 1)
+        assert g.edge_count() == 2
+        assert is_k_thick_connected(c, 3, 1)
+
+    def test_single_facet_connected(self):
+        assert is_k_thick_connected(Complex([sx([0, 0])]), 2, 1)
+
+    def test_empty_vacuous(self):
+        assert is_k_thick_connected(Complex(), 3, 1)
+
+
+class TestInputEnumeration:
+    def test_adjacency_is_one_flip(self):
+        g = input_adjacency_graph(binary_consensus(2))
+        a, b = sx([0, 0]), sx([0, 1])
+        c = sx([1, 1])
+        assert g.has_edge(a, b)
+        assert not g.has_edge(a, c)
+
+    def test_connected_sets_all_connected(self):
+        problem = binary_consensus(2)
+        g = input_adjacency_graph(problem)
+        from repro.util.graphs import Graph, is_connected
+
+        for input_set in similarity_connected_input_sets(problem):
+            sub = Graph(vertices=input_set)
+            for x in input_set:
+                for y in input_set:
+                    if x != y and g.has_edge(x, y):
+                        sub.add_edge(x, y)
+            assert is_connected(sub)
+
+    def test_enumeration_exhaustive_n2(self):
+        problem = binary_consensus(2)
+        sets = list(similarity_connected_input_sets(problem))
+        assert len(sets) == len(set(sets))  # no duplicates
+        # 4 facets in a 4-cycle: connected subsets = 4 singles + 4 edges
+        # + 4 paths of 3 + 1 full = 13
+        assert len(sets) == 13
+
+    def test_max_size_cap(self):
+        problem = binary_consensus(2)
+        sets = list(similarity_connected_input_sets(problem, max_size=2))
+        assert all(len(s) <= 2 for s in sets)
+        assert len(sets) == 8
+
+
+class TestProblemLevel:
+    def test_consensus_not_thick_connected(self):
+        assert not problem_is_k_thick_connected(binary_consensus(3), 1)
+
+    def test_consensus_n2(self):
+        assert not problem_is_k_thick_connected(binary_consensus(2), 1)
+
+    def test_identity_thick_connected(self):
+        assert problem_is_k_thick_connected(identity_task(3), 1)
+
+    def test_election_not_thick_connected(self):
+        assert not problem_is_k_thick_connected(leader_election(3), 1)
+
+    def test_epsilon_agreement_connected(self):
+        assert problem_is_k_thick_connected(
+            epsilon_agreement(3), 1, max_input_set_size=3
+        )
+
+    def test_witnessing_subproblem_for_solvable(self):
+        witness = witnessing_subproblem(identity_task(2), 1)
+        assert witness is not None
+        # identity's Δ itself suffices, so the witness is the problem
+        assert witness.delta == identity_task(2).delta
+
+    def test_witnessing_subproblem_none_for_consensus(self):
+        assert witnessing_subproblem(binary_consensus(2), 1) is None
+
+    def test_subproblem_cap_raises(self):
+        with pytest.raises(RuntimeError):
+            problem_is_k_thick_connected(
+                binary_consensus(3), 1, max_subproblems=5
+            )
+
+    def test_2set_connected_k1(self):
+        assert problem_is_k_thick_connected(
+            k_set_agreement(3, 2, values=(0, 1)), 1
+        )

@@ -1,0 +1,83 @@
+"""Unit tests for permutation helpers."""
+
+import pytest
+
+from repro.util.orderings import (
+    adjacent_transposition_chain,
+    all_permutations,
+    apply_transposition,
+    rotations,
+)
+
+
+class TestAllPermutations:
+    def test_count(self):
+        assert len(all_permutations(range(4))) == 24
+
+    def test_distinct(self):
+        perms = all_permutations("abc")
+        assert len(set(perms)) == 6
+
+    def test_empty(self):
+        assert all_permutations([]) == [()]
+
+
+class TestApplyTransposition:
+    def test_swaps_adjacent(self):
+        assert apply_transposition((1, 2, 3), 0) == (2, 1, 3)
+        assert apply_transposition((1, 2, 3), 1) == (1, 3, 2)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            apply_transposition((1, 2), 1)
+        with pytest.raises(ValueError):
+            apply_transposition((1, 2), -1)
+
+    def test_involution(self):
+        perm = (5, 6, 7, 8)
+        assert apply_transposition(apply_transposition(perm, 2), 2) == perm
+
+
+class TestChain:
+    def test_endpoints(self):
+        chain = adjacent_transposition_chain((0, 1, 2), (2, 1, 0))
+        assert chain[0] == (0, 1, 2)
+        assert chain[-1] == (2, 1, 0)
+
+    def test_each_step_is_adjacent_transposition(self):
+        chain = adjacent_transposition_chain((0, 1, 2, 3), (3, 0, 2, 1))
+        for a, b in zip(chain, chain[1:]):
+            diffs = [i for i in range(len(a)) if a[i] != b[i]]
+            assert len(diffs) == 2
+            i, j = diffs
+            assert j == i + 1
+            assert a[i] == b[j] and a[j] == b[i]
+
+    def test_identity_chain(self):
+        assert adjacent_transposition_chain((1, 2), (1, 2)) == [(1, 2)]
+
+    def test_all_pairs_of_permutations_reachable(self):
+        items = (0, 1, 2)
+        for start in all_permutations(items):
+            for end in all_permutations(items):
+                chain = adjacent_transposition_chain(start, end)
+                assert chain[0] == start and chain[-1] == end
+
+    def test_mismatched_items_rejected(self):
+        with pytest.raises(ValueError):
+            adjacent_transposition_chain((1, 2), (1, 3))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            adjacent_transposition_chain((1, 1), (1, 1))
+
+
+class TestRotations:
+    def test_count_and_first(self):
+        rots = rotations((1, 2, 3))
+        assert len(rots) == 3
+        assert rots[0] == (1, 2, 3)
+        assert rots[1] == (2, 3, 1)
+
+    def test_empty(self):
+        assert rotations(()) == []
