@@ -76,14 +76,30 @@ from repro.protocols import (
     decide_min_observed,
     decide_own_input,
 )
+from repro.resilience import (
+    Budget,
+    BudgetStats,
+    CampaignCheckpoint,
+    CheckAllCheckpoint,
+    ExplorationCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AsyncMessagePassingModel",
+    "Budget",
+    "BudgetStats",
+    "CampaignCheckpoint",
+    "CheckAllCheckpoint",
     "ConsensusChecker",
     "ConsensusReport",
     "EIG",
+    "ExplorationCheckpoint",
+    "load_checkpoint",
+    "save_checkpoint",
     "Execution",
     "ExplorationLimitExceeded",
     "FloodSet",

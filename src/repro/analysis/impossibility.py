@@ -23,6 +23,7 @@ dual protocol, so experiments can sweep protocols × models uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Union
 
 from repro.core.bivalence import build_bivalent_lasso
 from repro.core.checker import ConsensusChecker, ConsensusReport, Verdict
@@ -37,6 +38,8 @@ from repro.models.async_mp import AsyncMessagePassingModel
 from repro.models.mobile import MobileModel
 from repro.models.shared_memory import SharedMemoryModel
 from repro.protocols.base import DualProtocol, MessagePassingProtocol
+from repro.resilience.budget import Budget, DEFAULT_MAX_STATES
+from repro.resilience.checkpoint import CampaignCheckpoint
 
 
 def standard_layerings(protocol, n: int) -> dict[str, object]:
@@ -87,6 +90,17 @@ class Refutation:
     def verdict(self) -> Verdict:
         return self.report.verdict
 
+    @property
+    def refuted(self) -> bool:
+        """The checker found an actual violation (not just non-SATISFIED:
+        a budget-exhausted UNKNOWN is inconclusive, not a refutation)."""
+        return self.report.refuted
+
+    @property
+    def inconclusive(self) -> bool:
+        """The budget ran out before a verdict was reached."""
+        return self.report.inconclusive
+
     def schedule(self):
         """The adversary's layer-action schedule (safety violations)."""
         if self.report.execution is None:
@@ -95,29 +109,51 @@ class Refutation:
 
 
 def refute_candidate(
-    protocol, n: int, max_states: int = 2_000_000
+    protocol,
+    n: int,
+    max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
+    campaign: Optional[CampaignCheckpoint] = None,
 ) -> list[Refutation]:
     """Run one candidate through every applicable layered model.
 
     Theorem 4.2 guarantees no verdict is ``SATISFIED``; callers assert it.
+    ``max_states`` accepts a state count or a full
+    :class:`~repro.resilience.Budget`; a *campaign* checkpoint makes the
+    sweep resumable model-by-model, stopping at the first model whose
+    budget trips.
     """
+    budget = Budget.of(max_states)
     out = []
     for name, layering in standard_layerings(protocol, n).items():
-        checker = ConsensusChecker(layering, max_states)
-        report = checker.check_all(layering.model)
-        out.append(
-            Refutation(
-                model_name=name,
-                protocol_name=protocol.name(),
-                report=report,
-            )
+        key = f"refute:{name}:{protocol.name()}:n{n}"
+        resume = None
+        if campaign is not None:
+            done = campaign.report_for(key)
+            if done is not None:
+                out.append(Refutation(name, protocol.name(), done))
+                continue
+            resume = campaign.resume_point(key)
+        checker = ConsensusChecker(layering, budget)
+        report = checker.check_all(layering.model, checkpoint=resume)
+        if campaign is not None:
+            if report.inconclusive:
+                campaign.suspend(key, report.checkpoint)
+            else:
+                campaign.record(key, report)
+        refutation = Refutation(
+            model_name=name,
+            protocol_name=protocol.name(),
+            report=report,
         )
+        out.append(refutation)
+        if refutation.inconclusive:
+            return out
     return out
 
 
 def forever_bivalent_run(
     layering,
-    max_states: int = 2_000_000,
+    max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
     value_domain=(0, 1),
 ) -> tuple[RunWitness, ValenceAnalyzer]:
     """Theorem 4.2's construction: the infinite bivalent run, as a lasso.
@@ -137,14 +173,19 @@ def forever_bivalent_run(
     everything), so Lemma 3.6's bivalence conclusion does not apply to it
     — its refutation comes from :func:`refute_candidate`'s lasso instead.
     """
-    analyzer = ValenceAnalyzer(layering, max_states)
+    # Strict: the bivalent walk *acts* on valence verdicts — extending a
+    # run along a state misclassified univalent-by-truncation would build
+    # an invalid proof object, so degradation is not sound here.
+    analyzer = ValenceAnalyzer(layering, max_states, strict=True)
     initial_states = layering.model.initial_states(value_domain)
     start = lemma_3_6(initial_states, layering, analyzer)
     lasso = build_bivalent_lasso(layering, analyzer, start)
     return lasso, analyzer
 
 
-def corollary_5_2(protocol, n: int, max_states: int = 2_000_000) -> Refutation:
+def corollary_5_2(
+    protocol, n: int, max_states: Union[int, Budget] = DEFAULT_MAX_STATES
+) -> Refutation:
     """Corollary 5.2: consensus unsolvable under a single mobile failure."""
     layering = S1MobileLayering(MobileModel(protocol, n))
     report = ConsensusChecker(layering, max_states).check_all(layering.model)
@@ -152,7 +193,9 @@ def corollary_5_2(protocol, n: int, max_states: int = 2_000_000) -> Refutation:
 
 
 def corollary_5_4(
-    protocol: DualProtocol, n: int, max_states: int = 2_000_000
+    protocol: DualProtocol,
+    n: int,
+    max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
 ) -> Refutation:
     """Corollary 5.4: consensus unsolvable 1-resiliently in r/w shared
     memory — in fact already in the barely-asynchronous ``S^rw`` submodel."""
@@ -162,7 +205,7 @@ def corollary_5_4(
 
 
 def permutation_impossibility(
-    protocol, n: int, max_states: int = 2_000_000
+    protocol, n: int, max_states: Union[int, Budget] = DEFAULT_MAX_STATES
 ) -> Refutation:
     """The FLP-style impossibility via the permutation layering."""
     layering = PermutationLayering(AsyncMessagePassingModel(protocol, n))

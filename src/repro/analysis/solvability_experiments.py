@@ -17,7 +17,7 @@ construction against an explicit covering of a layered system's outcomes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from repro.core.similarity import is_similarity_connected
 from repro.core.state import GlobalState
@@ -28,6 +28,7 @@ from repro.protocols.tasks import (
     EpsilonAgreementProtocol,
     KSetAgreementProtocol,
 )
+from repro.resilience.budget import Budget, DEFAULT_MAX_STATES
 from repro.tasks.catalog import CATALOG, EXPECTED_SOLVABLE
 from repro.tasks.covering import Covering, OutcomeAnalyzer
 from repro.tasks.diameter import check_lemma_7_6, theorem_7_7_series
@@ -77,7 +78,7 @@ class MatrixEntry:
 def solvability_matrix(
     n: int = 3,
     tasks: Optional[list[str]] = None,
-    max_states: int = 2_000_000,
+    max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
     max_input_set_size: Optional[int] = 3,
 ) -> dict[str, MatrixEntry]:
     """Experiment E7: the task × model solvability matrix."""
@@ -111,7 +112,7 @@ def lemma_7_1_run(
     covering: Covering,
     initial_states: list[GlobalState],
     length: int,
-    max_states: int = 2_000_000,
+    max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
 ) -> list[GlobalState]:
     """Lemma 7.1's construction: a run bivalent w.r.t. a covering.
 
@@ -156,6 +157,7 @@ def diameter_table(
     layering,
     initial_states: list[GlobalState],
     rounds: int,
+    max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
 ) -> list[dict]:
     """Experiment E8: measured layer diameters vs the Lemma 7.6 bound,
     round by round, starting from the initial set.
@@ -163,13 +165,27 @@ def diameter_table(
     Walks ``X_{m+1} = S(X_m)`` and reports the measured ``d_X``, the
     per-layer ``d_Y``, the measured image diameter and the composed
     bound.  Stops early (with a partial table) if a set becomes
-    disconnected — which the lemma's preconditions then explain.
+    disconnected — which the lemma's preconditions then explain — or if
+    the *budget* runs out (layer images grow fast), in which case the
+    last row is a note naming the tripped limit.
     """
     from repro.tasks.diameter import layer_image
 
+    meter = Budget.of(max_states).meter()
     table = []
     current = list(dict.fromkeys(initial_states))
     for round_index in range(rounds):
+        tripped = meter.poll()
+        for state in current:
+            tripped = tripped or meter.charge_state(state)
+        if tripped is not None:
+            table.append(
+                {
+                    "round": round_index,
+                    "note": f"stopped: budget exhausted ({tripped})",
+                }
+            )
+            break
         try:
             row = check_lemma_7_6(layering, current)
         except ValueError as exc:

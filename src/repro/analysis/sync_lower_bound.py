@@ -23,7 +23,7 @@ The supporting lemmas are replayed with witnesses:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from repro.analysis.lemmas import LemmaReport
 from repro.core.bivalence import bivalent_successor
@@ -37,6 +37,8 @@ from repro.models.sync import SynchronousModel
 from repro.protocols.base import MessagePassingProtocol
 from repro.protocols.eig import EIG
 from repro.protocols.floodset import FloodSet
+from repro.resilience.budget import Budget, DEFAULT_MAX_STATES
+from repro.resilience.checkpoint import CampaignCheckpoint
 
 
 def make_st_system(
@@ -58,65 +60,141 @@ class LowerBoundRow:
 
     @property
     def defeated(self) -> bool:
-        return not self.report.satisfied
+        """The checker found an actual violation.
+
+        Deliberately ``refuted`` and not ``not satisfied``: a
+        budget-exhausted UNKNOWN verdict is *inconclusive*, which must
+        never be presented as a successful refutation.
+        """
+        return self.report.refuted
+
+    @property
+    def inconclusive(self) -> bool:
+        """The budget ran out before a verdict was reached."""
+        return self.report.inconclusive
+
+
+def _checked_row(
+    label: str,
+    key: str,
+    system,
+    model,
+    n: int,
+    t: int,
+    rounds: int,
+    budget: Budget,
+    campaign: Optional[CampaignCheckpoint],
+) -> LowerBoundRow:
+    """One campaign unit: reuse a completed report, resume a suspended
+    sweep, or run ``check_all`` fresh; record the outcome either way."""
+    if campaign is not None:
+        done = campaign.report_for(key)
+        if done is not None:
+            return LowerBoundRow(label, n, t, rounds, done)
+        resume = campaign.resume_point(key)
+    else:
+        resume = None
+    report = ConsensusChecker(system, budget).check_all(
+        model, checkpoint=resume
+    )
+    if campaign is not None:
+        if report.inconclusive:
+            campaign.suspend(key, report.checkpoint)
+        else:
+            campaign.record(key, report)
+    return LowerBoundRow(label, n, t, rounds, report)
 
 
 def defeat_fast_candidates(
-    n: int, t: int, max_states: int = 2_000_000
+    n: int,
+    t: int,
+    max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
+    campaign: Optional[CampaignCheckpoint] = None,
 ) -> list[LowerBoundRow]:
     """Defeat every shipped candidate deciding within ``t`` rounds.
 
     Candidates: FloodSet and EIG with ``1 .. t`` rounds.  Each must be
     refuted by the ``S^t`` adversary (they always decide and are valid,
     so the violation is agreement — the classic ``t``-round scenario).
+
+    ``max_states`` accepts a state count or a full
+    :class:`~repro.resilience.Budget`; a *campaign* checkpoint makes the
+    sweep resumable unit-by-unit, stopping at the first unit whose budget
+    trips (continuing under an exhausted wall clock would be futile).
     """
+    budget = Budget.of(max_states)
     rows = []
     for rounds in range(1, t + 1):
         for protocol in (FloodSet(rounds), EIG(rounds)):
             layering = make_st_system(protocol, n, t)
-            report = ConsensusChecker(layering, max_states).check_all(
-                layering.model
+            row = _checked_row(
+                protocol.name(),
+                f"defeat:{protocol.name()}:n{n}:t{t}",
+                layering,
+                layering.model,
+                n,
+                t,
+                rounds,
+                budget,
+                campaign,
             )
-            rows.append(
-                LowerBoundRow(protocol.name(), n, t, rounds, report)
-            )
+            rows.append(row)
+            if row.inconclusive:
+                return rows
     return rows
 
 
 def verify_tight_protocols(
     n: int,
     t: int,
-    max_states: int = 2_000_000,
+    max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
     include_full_model: bool = True,
     clean_crashes_only: bool = False,
+    campaign: Optional[CampaignCheckpoint] = None,
 ) -> list[LowerBoundRow]:
     """Verify FloodSet/EIG at ``t+1`` rounds — the bound is tight.
 
     Checked over the ``S^t`` submodel and (optionally) over the full
     synchronous model, whose failure patterns include multiple new
-    failures per round with arbitrary blocked subsets.
+    failures per round with arbitrary blocked subsets.  Budget and
+    campaign semantics as in :func:`defeat_fast_candidates`.
     """
+    budget = Budget.of(max_states)
     rows = []
     for protocol in (FloodSet(t + 1), EIG(t + 1)):
         layering = make_st_system(protocol, n, t)
-        report = ConsensusChecker(layering, max_states).check_all(
-            layering.model
+        row = _checked_row(
+            f"{protocol.name()} [S^t]",
+            f"tight:st:{protocol.name()}:n{n}:t{t}",
+            layering,
+            layering.model,
+            n,
+            t,
+            t + 1,
+            budget,
+            campaign,
         )
-        rows.append(
-            LowerBoundRow(
-                f"{protocol.name()} [S^t]", n, t, t + 1, report
-            )
-        )
+        rows.append(row)
+        if row.inconclusive:
+            return rows
         if include_full_model:
             model = SynchronousModel(
                 protocol, n, t, clean_crashes_only=clean_crashes_only
             )
-            report_full = ConsensusChecker(model, max_states).check_all(model)
-            rows.append(
-                LowerBoundRow(
-                    f"{protocol.name()} [full sync]", n, t, t + 1, report_full
-                )
+            row = _checked_row(
+                f"{protocol.name()} [full sync]",
+                f"tight:full:{protocol.name()}:n{n}:t{t}",
+                model,
+                model,
+                n,
+                t,
+                t + 1,
+                budget,
+                campaign,
             )
+            rows.append(row)
+            if row.inconclusive:
+                return rows
     return rows
 
 
@@ -193,7 +271,7 @@ def lemma_6_4(
     n: int,
     t: int,
     protocol: Optional[MessagePassingProtocol] = None,
-    max_states: int = 2_000_000,
+    max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
 ) -> LemmaReport:
     """Lemma 6.4: for a fast protocol, if at most ``k`` processes have
     failed by the end of round ``k`` and round ``k+1`` is failure-free,
@@ -204,7 +282,9 @@ def lemma_6_4(
     """
     protocol = protocol or FloodSet(t + 1)
     layering = make_st_system(protocol, n, t)
-    analyzer = ValenceAnalyzer(layering, max_states)
+    # Strict: the lemma's conclusion quantifies over complete valences —
+    # a partial (lower-bound) valence could miss a bivalence witness.
+    analyzer = ValenceAnalyzer(layering, max_states, strict=True)
     model = layering.model
     violations = 0
     checked = 0

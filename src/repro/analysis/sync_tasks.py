@@ -22,7 +22,7 @@ the :class:`EpsilonAgreementProtocol` needs).
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
+from typing import Optional, Union
 
 from repro.core.checker import Verdict
 from repro.core.state import GlobalState
@@ -30,6 +30,7 @@ from repro.layerings.st_synchronous import StSynchronousLayering
 from repro.models.sync import SynchronousModel
 from repro.protocols.base import MessagePassingProtocol
 from repro.tasks.checker import TaskChecker, TaskReport
+from repro.resilience.budget import Budget, DEFAULT_MAX_STATES
 from repro.tasks.problem import DecisionProblem
 from repro.tasks.thick import problem_is_k_thick_connected
 
@@ -39,7 +40,7 @@ def check_solves_in_rounds(
     protocol: MessagePassingProtocol,
     t: int,
     rounds: int,
-    max_states: int = 2_000_000,
+    max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
 ) -> TaskReport:
     """Verify a protocol solves *problem* within *rounds* ``S^t`` layers.
 
@@ -51,11 +52,12 @@ def check_solves_in_rounds(
     """
     model = SynchronousModel(protocol, problem.n, t)
     layering = StSynchronousLayering(model)
-    checker = TaskChecker(layering, problem, max_states)
+    budget = Budget.of(max_states)
+    checker = TaskChecker(layering, problem, budget)
     report = checker.check_all(model)
     if not report.satisfied:
         return report
-    breach = _round_bound_breach(layering, problem, rounds, max_states)
+    breach = _round_bound_breach(layering, problem, rounds, budget)
     if breach is not None:
         return breach
     return report
@@ -65,13 +67,14 @@ def _round_bound_breach(
     layering: StSynchronousLayering,
     problem: DecisionProblem,
     rounds: int,
-    max_states: int,
+    budget: Budget,
 ) -> Optional[TaskReport]:
     """BFS every run to depth *rounds*; an undecided frontier state is a
     breach of the round bound."""
     from repro.core.run import Execution
 
     model = layering.model
+    meter = budget.meter()
     for facet in sorted(problem.input_facets(), key=repr):
         assignment = [facet.value_of(i) for i in range(problem.n)]
         initial = model.initial_state(assignment)
@@ -101,8 +104,11 @@ def _round_bound_breach(
             for _, child in layering.successors(state):
                 key = (child, depth + 1)
                 if key not in seen:
-                    if len(seen) > max_states:
-                        raise RuntimeError("round-bound BFS budget exceeded")
+                    tripped = meter.charge_state(child)
+                    if tripped is not None:
+                        raise RuntimeError(
+                            f"round-bound BFS budget exhausted ({tripped})"
+                        )
                     seen.add(key)
                     frontier.append(key)
     return None

@@ -11,6 +11,22 @@
 Each subcommand prints the same tables the benchmark harness saves under
 ``benchmarks/results/`` — the CLI is the interactive face of the
 experiment drivers in :mod:`repro.analysis`.
+
+Resource limits and resumability (the resilience layer):
+
+* ``--max-states`` / ``--timeout`` build one
+  :class:`~repro.resilience.Budget` threaded through every analysis the
+  subcommand runs; the timeout bounds the *whole command*.
+* On budget exhaustion the command prints a one-line diagnostic with the
+  exploration statistics and exits with code 2 (*inconclusive* — neither
+  verified nor refuted); an actual unexpected verdict exits 1.
+* ``--checkpoint PATH`` saves campaign progress when a run stops early
+  (budget or Ctrl-C); ``--resume PATH`` picks it up again — completed
+  units replay instantly, the interrupted unit continues from its saved
+  frontier.  ``lower-bound`` and ``impossibility`` support this;
+  the other subcommands accept the flags but run strict analyses whose
+  partial results are not checkpointable.
+* Ctrl-C exits with code 130, after writing the checkpoint if requested.
 """
 
 from __future__ import annotations
@@ -19,6 +35,56 @@ import argparse
 import sys
 
 from repro.analysis.reports import render_table, render_verdict_rows
+from repro.core.valence import ExplorationLimitExceeded
+from repro.resilience.budget import Budget
+from repro.resilience.checkpoint import (
+    CampaignCheckpoint,
+    CheckpointMismatch,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+#: Exit codes: 0 expected outcome, 1 unexpected (a theorem-contradicting
+#: verdict), 2 inconclusive (budget exhausted before a verdict) or usage
+#: error, 130 interrupted (Ctrl-C, checkpoint written when requested).
+EXIT_OK = 0
+EXIT_UNEXPECTED = 1
+EXIT_INCONCLUSIVE = 2
+EXIT_INTERRUPTED = 130
+
+
+def _save_campaign(args: argparse.Namespace) -> None:
+    """Write the campaign checkpoint if ``--checkpoint`` was given.
+
+    An unwritable path must not crash a run that already has a result
+    to report: the failure becomes a diagnostic, not a traceback.
+    """
+    if args.checkpoint and args.campaign is not None:
+        try:
+            save_checkpoint(args.campaign, args.checkpoint)
+        except OSError as exc:
+            print(f"cannot write checkpoint: {exc}", file=sys.stderr)
+            return
+        print(f"checkpoint written to {args.checkpoint}", file=sys.stderr)
+
+
+def _finish_inconclusive(args: argparse.Namespace, report) -> int:
+    """Shared tail for a budget-exhausted (or interrupted) campaign unit:
+    one-line diagnostic, optional checkpoint, distinct exit code."""
+    stats = report.budget_stats
+    line = "inconclusive: " + (
+        stats.describe() if stats is not None else report.detail
+    )
+    print(f"\n{line}", file=sys.stderr)
+    print(
+        "hint: raise --max-states and/or --timeout, or pass "
+        "--checkpoint/--resume to split the run",
+        file=sys.stderr,
+    )
+    _save_campaign(args)
+    if report.interrupted:
+        return EXIT_INTERRUPTED
+    return EXIT_INCONCLUSIVE
 
 
 def _cmd_lower_bound(args: argparse.Namespace) -> int:
@@ -28,21 +94,31 @@ def _cmd_lower_bound(args: argparse.Namespace) -> int:
     )
 
     print(f"== Corollary 6.3: the t+1 crossover (n={args.n}, t={args.t}) ==\n")
-    defeated = defeat_fast_candidates(args.n, args.t, args.max_states)
-    verified = verify_tight_protocols(
-        args.n,
-        args.t,
-        args.max_states,
-        include_full_model=args.full_model,
+    defeated = defeat_fast_candidates(
+        args.n, args.t, args.budget, campaign=args.campaign
     )
-    print(render_verdict_rows(defeated + verified))
+    verified = []
+    if not any(r.inconclusive for r in defeated):
+        verified = verify_tight_protocols(
+            args.n,
+            args.t,
+            args.budget,
+            include_full_model=args.full_model,
+            campaign=args.campaign,
+        )
+    rows = defeated + verified
+    print(render_verdict_rows(rows))
+    stopped = next((r for r in rows if r.inconclusive), None)
+    if stopped is not None:
+        return _finish_inconclusive(args, stopped.report)
+    _save_campaign(args)
     ok = all(r.defeated for r in defeated) and all(
         r.report.satisfied for r in verified
     )
     print(
         "\ncrossover holds" if ok else "\nUNEXPECTED: crossover violated!"
     )
-    return 0 if ok else 1
+    return EXIT_OK if ok else EXIT_UNEXPECTED
 
 
 PROTOCOLS = {
@@ -71,7 +147,9 @@ def _cmd_impossibility(args: argparse.Namespace) -> int:
     print(
         f"== Theorem 4.2 on {protocol.name()} (n={args.n}) ==\n"
     )
-    refutations = refute_candidate(protocol, args.n, args.max_states)
+    refutations = refute_candidate(
+        protocol, args.n, args.budget, campaign=args.campaign
+    )
     if args.model != "all":
         refutations = [
             r for r in refutations if r.model_name == args.model
@@ -79,7 +157,7 @@ def _cmd_impossibility(args: argparse.Namespace) -> int:
         if not refutations:
             names = sorted(standard_layerings(protocol, args.n))
             print(f"unknown model {args.model!r}; choose from {names}")
-            return 2
+            return EXIT_INCONCLUSIVE
     rows = [
         [
             r.model_name,
@@ -95,12 +173,16 @@ def _cmd_impossibility(args: argparse.Namespace) -> int:
             ["model", "verdict", "inputs", "schedule", "states"], rows
         )
     )
+    stopped = next((r for r in refutations if r.inconclusive), None)
+    if stopped is not None:
+        return _finish_inconclusive(args, stopped.report)
+    _save_campaign(args)
     satisfied = [r for r in refutations if r.report.satisfied]
     if satisfied:
         print("\nUNEXPECTED: a candidate was verified — Theorem 4.2 violated!")
-        return 1
+        return EXIT_UNEXPECTED
     print("\nno candidate survives any layered model — as the theorem says")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_solvability(args: argparse.Namespace) -> int:
@@ -110,7 +192,7 @@ def _cmd_solvability(args: argparse.Namespace) -> int:
     tasks = args.tasks.split(",") if args.tasks else None
     print(f"== Corollary 7.3: solvability matrix (n={args.n}) ==\n")
     matrix = solvability_matrix(
-        n=args.n, tasks=tasks, max_states=args.max_states
+        n=args.n, tasks=tasks, max_states=args.budget
     )
     rows = []
     ok = True
@@ -131,7 +213,7 @@ def _cmd_solvability(args: argparse.Namespace) -> int:
             rows,
         )
     )
-    return 0 if ok else 1
+    return EXIT_OK if ok else EXIT_UNEXPECTED
 
 
 def _cmd_lemmas(args: argparse.Namespace) -> int:
@@ -142,7 +224,9 @@ def _cmd_lemmas(args: argparse.Namespace) -> int:
     from repro.protocols.floodset import FloodSet
 
     layering = S1MobileLayering(MobileModel(FloodSet(2), args.n))
-    analyzer = ValenceAnalyzer(layering, args.max_states)
+    # Strict: the lemma walks act on valence verdicts, so a truncated
+    # valence must abort (caught at top level as inconclusive).
+    analyzer = ValenceAnalyzer(layering, args.budget, strict=True)
     initials = layering.model.initial_states((0, 1))
     print(f"== Executable lemmas over S_1/M^mf (n={args.n}) ==\n")
     reports = [lemma_3_6_report(layering, analyzer, initials)]
@@ -155,7 +239,7 @@ def _cmd_lemmas(args: argparse.Namespace) -> int:
         )
     rows = [[r.lemma, r.holds, r.detail] for r in reports]
     print(render_table(["lemma", "holds", "detail"], rows))
-    return 0 if all(r.holds for r in reports) else 1
+    return EXIT_OK if all(r.holds for r in reports) else EXIT_UNEXPECTED
 
 
 def _cmd_diameter(args: argparse.Namespace) -> int:
@@ -172,11 +256,17 @@ def _cmd_diameter(args: argparse.Namespace) -> int:
         f"== Lemma 7.6: measured s-diameters (n={args.n}, "
         f"{args.rounds} rounds) ==\n"
     )
-    table = diameter_table(layering, initials, args.rounds)
+    table = diameter_table(
+        layering, initials, args.rounds, max_states=args.budget
+    )
     rows = []
+    stopped_by_budget = False
     for row in table:
         if "note" in row:
             rows.append([row["round"], row["note"], None, None, None])
+            stopped_by_budget = stopped_by_budget or (
+                "budget exhausted" in row["note"]
+            )
             continue
         rows.append(
             [
@@ -188,7 +278,48 @@ def _cmd_diameter(args: argparse.Namespace) -> int:
             ]
         )
     print(render_table(["round", "|X|", "d_X", "d_S(X)", "bound"], rows))
-    return 0
+    if stopped_by_budget:
+        print(
+            "\ninconclusive: the diameter walk stopped early; raise "
+            "--max-states and/or --timeout",
+            file=sys.stderr,
+        )
+        return EXIT_INCONCLUSIVE
+    return EXIT_OK
+
+
+def _add_budget_flags(parser, suppress: bool = False) -> None:
+    """The four resilience flags, accepted before or after the subcommand.
+
+    On subparsers the defaults are suppressed so an absent flag does not
+    clobber a value already parsed from the top-level position.
+    """
+    default = (lambda v: argparse.SUPPRESS) if suppress else (lambda v: v)
+    parser.add_argument(
+        "--max-states",
+        type=int,
+        default=default(1_000_000),
+        help="exploration budget per analysis (state count)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=default(None),
+        metavar="SECONDS",
+        help="wall-clock budget for the whole command",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=default(None),
+        metavar="PATH",
+        help="write campaign progress here when the run stops early",
+    )
+    parser.add_argument(
+        "--resume",
+        default=default(None),
+        metavar="PATH",
+        help="resume a campaign previously saved with --checkpoint",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -198,18 +329,14 @@ def build_parser() -> argparse.ArgumentParser:
         description="Executable layered analysis of consensus "
         "(Moses & Rajsbaum, PODC 1998)",
     )
-    parser.add_argument(
-        "--max-states",
-        type=int,
-        default=1_000_000,
-        help="exploration budget per analysis",
-    )
+    _add_budget_flags(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("lower-bound", help="the t+1-round crossover")
     p.add_argument("--n", type=int, default=3)
     p.add_argument("--t", type=int, default=1)
     p.add_argument("--full-model", action="store_true")
+    _add_budget_flags(p, suppress=True)
     p.set_defaults(func=_cmd_lower_bound)
 
     p = sub.add_parser("impossibility", help="defeat a candidate everywhere")
@@ -218,6 +345,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--protocol", choices=sorted(PROTOCOLS), default="quorum"
     )
     p.add_argument("--model", default="all")
+    _add_budget_flags(p, suppress=True)
     p.set_defaults(func=_cmd_impossibility)
 
     p = sub.add_parser("solvability", help="the Section 7 matrix")
@@ -225,15 +353,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--tasks", default="consensus,identity,constant,leader-election"
     )
+    _add_budget_flags(p, suppress=True)
     p.set_defaults(func=_cmd_solvability)
 
     p = sub.add_parser("lemmas", help="executable lemma reports")
     p.add_argument("--n", type=int, default=3)
+    _add_budget_flags(p, suppress=True)
     p.set_defaults(func=_cmd_lemmas)
 
     p = sub.add_parser("diameter", help="s-diameter growth vs the bound")
     p.add_argument("--n", type=int, default=3)
     p.add_argument("--rounds", type=int, default=2)
+    _add_budget_flags(p, suppress=True)
     p.set_defaults(func=_cmd_diameter)
 
     return parser
@@ -243,7 +374,44 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    args.budget = Budget(
+        max_states=args.max_states, max_seconds=args.timeout
+    )
+    args.campaign = None
+    if args.resume:
+        try:
+            loaded = load_checkpoint(args.resume)
+        except (OSError, CheckpointMismatch) as exc:
+            print(f"cannot resume: {exc}", file=sys.stderr)
+            return EXIT_INCONCLUSIVE
+        if not isinstance(loaded, CampaignCheckpoint):
+            print(
+                f"cannot resume: {args.resume} holds a "
+                f"{type(loaded).__name__}, not a campaign checkpoint",
+                file=sys.stderr,
+            )
+            return EXIT_INCONCLUSIVE
+        args.campaign = loaded
+        if not args.checkpoint:
+            args.checkpoint = args.resume
+    elif args.checkpoint:
+        args.campaign = CampaignCheckpoint()
+    try:
+        return args.func(args)
+    except ExplorationLimitExceeded as exc:
+        print(f"inconclusive: {exc}", file=sys.stderr)
+        print(
+            "hint: raise --max-states and/or --timeout",
+            file=sys.stderr,
+        )
+        return EXIT_INCONCLUSIVE
+    except CheckpointMismatch as exc:
+        print(f"checkpoint mismatch: {exc}", file=sys.stderr)
+        return EXIT_INCONCLUSIVE
+    except KeyboardInterrupt:
+        print("\ninterrupted", file=sys.stderr)
+        _save_campaign(args)
+        return EXIT_INTERRUPTED
 
 
 if __name__ == "__main__":  # pragma: no cover - module CLI entry

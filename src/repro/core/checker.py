@@ -20,11 +20,25 @@ bound into a layered system, :class:`ConsensusChecker` explores every
 * a ``WRITE_ONCE`` violation — a transition changed an already-set
   decision variable (a malformed protocol; none of the shipped protocols
   trigger it, but the checker guards the "system for consensus"
-  condition (ii) of Section 3 rather than assuming it).
+  condition (ii) of Section 3 rather than assuming it);
+* ``UNKNOWN`` — the exploration :class:`~repro.resilience.Budget`
+  (states, edges, wall clock, memory) was exhausted, or the search was
+  interrupted, before the state space was covered.  The report carries
+  :class:`~repro.resilience.BudgetStats` and a resumable
+  :class:`~repro.resilience.ExplorationCheckpoint`.
+
+Degradation is **sound**: violations are detected the moment their state
+is generated, so any violation found before a budget trips is returned as
+a definitive refutation — a budget can only ever turn would-be
+``SATISFIED`` into ``UNKNOWN``, never a violation into ``SATISFIED``.
+``strict=True`` restores the historical behaviour of raising
+:class:`~repro.core.valence.ExplorationLimitExceeded` on exhaustion.
 
 Every violation carries a replayable witness: the exact sequence of layer
 actions from an initial state.  Replaying it through the layering
-reproduces the violation — tests do exactly that.
+reproduces the violation — tests do exactly that, and the fault-injection
+harness (:mod:`repro.resilience.mutation`) uses the same replay to
+validate the checker itself.
 """
 
 from __future__ import annotations
@@ -33,11 +47,22 @@ from collections import deque
 from collections.abc import Hashable, Sequence
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
+from typing import Optional, Union
 
 from repro.core.run import Execution, RunWitness
 from repro.core.state import GlobalState
 from repro.core.valence import ExplorationLimitExceeded
+from repro.resilience.budget import (
+    Budget,
+    BudgetMeter,
+    BudgetStats,
+    DEFAULT_MAX_STATES,
+)
+from repro.resilience.checkpoint import (
+    CheckAllCheckpoint,
+    ExplorationCheckpoint,
+    system_fingerprint,
+)
 
 
 class Verdict(Enum):
@@ -48,6 +73,14 @@ class Verdict(Enum):
     VALIDITY = "validity-violation"
     DECISION = "decision-violation"
     WRITE_ONCE = "write-once-violation"
+    UNKNOWN = "unknown"
+
+
+#: The verdicts that constitute a definitive refutation (a violation with
+#: a replayable witness) — everything except SATISFIED and UNKNOWN.
+VIOLATIONS = frozenset(
+    {Verdict.AGREEMENT, Verdict.VALIDITY, Verdict.DECISION, Verdict.WRITE_ONCE}
+)
 
 
 @dataclass(frozen=True)
@@ -64,6 +97,13 @@ class ConsensusReport:
         cycle: for decision violations, the repeating cycle of the lasso.
         detail: human-readable description of what was observed.
         states_explored: total distinct states visited.
+        budget_stats: resource-consumption snapshot; always present on
+            ``UNKNOWN`` verdicts (naming the tripped limit), and None on
+            reports produced before budgets existed.
+        checkpoint: a resumable exploration snapshot, present exactly on
+            ``UNKNOWN`` verdicts.  Pass it back to ``check`` /
+            ``check_all`` (or save it with
+            :func:`repro.resilience.save_checkpoint`) to continue.
     """
 
     verdict: Verdict
@@ -72,10 +112,30 @@ class ConsensusReport:
     cycle: Optional[Execution]
     detail: str
     states_explored: int
+    budget_stats: Optional[BudgetStats] = None
+    checkpoint: Optional[object] = None
 
     @property
     def satisfied(self) -> bool:
         return self.verdict is Verdict.SATISFIED
+
+    @property
+    def inconclusive(self) -> bool:
+        """True when the budget ran out before a verdict was reached."""
+        return self.verdict is Verdict.UNKNOWN
+
+    @property
+    def refuted(self) -> bool:
+        """True when a genuine violation (with witness) was found."""
+        return self.verdict in VIOLATIONS
+
+    @property
+    def interrupted(self) -> bool:
+        """True when the exploration was stopped by KeyboardInterrupt."""
+        return (
+            self.budget_stats is not None
+            and self.budget_stats.limit == "interrupted"
+        )
 
     def run_witness(self) -> RunWitness:
         """The infinite-run witness of a decision violation."""
@@ -90,106 +150,107 @@ class ConsensusChecker:
 
     Args:
         system: a :class:`SuccessorSystem` (layering or model).
-        max_states: exploration budget per input assignment.
+        max_states: exploration budget per input assignment — a legacy
+            state count (deprecated alias) or a full
+            :class:`~repro.resilience.Budget`.
+        strict: if True, budget exhaustion raises
+            :class:`ExplorationLimitExceeded` as it historically did;
+            by default it degrades to an ``UNKNOWN`` report carrying
+            statistics and a resumable checkpoint.
     """
 
-    def __init__(self, system, max_states: int = 2_000_000) -> None:
+    def __init__(
+        self,
+        system,
+        max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
+        strict: bool = False,
+    ) -> None:
         self._system = system
-        self._max_states = max_states
+        self._budget = Budget.of(max_states)
+        self._strict = strict
+
+    @property
+    def budget(self) -> Budget:
+        """The budget charged per input assignment."""
+        return self._budget
 
     def check(
         self,
         initial_state: GlobalState,
         inputs: Sequence[Hashable],
+        checkpoint: Optional[ExplorationCheckpoint] = None,
     ) -> ConsensusReport:
-        """Check all runs from one initial state (one input assignment)."""
-        system = self._system
-        input_values = frozenset(inputs)
-        parent: dict[GlobalState, Optional[tuple]] = {initial_state: None}
-        queue: deque[GlobalState] = deque([initial_state])
-        terminal: set[GlobalState] = set()
-        edges: dict[GlobalState, list[tuple[Hashable, GlobalState]]] = {}
+        """Check all runs from one initial state (one input assignment).
 
-        problem = self._state_problem(initial_state, input_values)
-        if problem is not None:
-            return self._safety_report(
-                problem[0], initial_state, parent, tuple(inputs), problem[1], 1
-            )
-
-        while queue:
-            state = queue.popleft()
-            if self._all_nonfailed_decided(state):
-                terminal.add(state)
-                continue
-            succs = system.successors(state)
-            edges[state] = succs
-            for action, child in succs:
-                fresh = child not in parent
-                if fresh:
-                    parent[child] = (state, action)
-                    if len(parent) > self._max_states:
-                        raise ExplorationLimitExceeded(
-                            f"more than {self._max_states} states from "
-                            f"inputs {tuple(inputs)!r}"
-                        )
-                write_once = self._write_once_problem(state, child)
-                if write_once is not None:
-                    if fresh:
-                        queue.append(child)
-                    return self._safety_report(
-                        Verdict.WRITE_ONCE,
-                        child,
-                        parent,
-                        tuple(inputs),
-                        write_once,
-                        len(parent),
-                    )
-                problem = self._state_problem(child, input_values)
-                if problem is not None:
-                    return self._safety_report(
-                        problem[0],
-                        child,
-                        parent,
-                        tuple(inputs),
-                        problem[1],
-                        len(parent),
-                    )
-                if fresh:
-                    queue.append(child)
-
-        lasso = self._find_undecided_lasso(initial_state, edges, terminal)
-        if lasso is not None:
-            prefix, cycle = lasso
-            return ConsensusReport(
-                verdict=Verdict.DECISION,
-                inputs=tuple(inputs),
-                execution=prefix,
-                cycle=cycle,
-                detail=(
-                    "fair infinite run on which some non-failed process "
-                    "never decides"
-                ),
-                states_explored=len(parent),
-            )
-        return ConsensusReport(
-            verdict=Verdict.SATISFIED,
-            inputs=None,
-            execution=None,
-            cycle=None,
-            detail="all runs decide, agree and are valid",
-            states_explored=len(parent),
+        Pass a *checkpoint* from a previous ``UNKNOWN`` report to resume
+        the breadth-first search exactly where it stopped; the search is
+        deterministic, so the eventual verdict (and witness) is identical
+        to an uninterrupted run.  Each invocation charges a fresh budget
+        window (except the wall-clock deadline, which is anchored on the
+        ``Budget`` itself).
+        """
+        return self._check_one(
+            initial_state, tuple(inputs), self._budget.meter(), checkpoint
         )
 
     def check_all(
-        self, model, value_domain: Sequence[Hashable] = (0, 1)
+        self,
+        model,
+        value_domain: Sequence[Hashable] = (0, 1),
+        checkpoint: Optional[CheckAllCheckpoint] = None,
     ) -> ConsensusReport:
         """Check every input assignment; return the first violation found,
-        or an aggregate SATISFIED report."""
+        or an aggregate SATISFIED report.
+
+        On budget exhaustion the aggregate verdict is ``UNKNOWN`` with a
+        :class:`~repro.resilience.CheckAllCheckpoint` recording the
+        deterministic assignment cursor plus the in-flight assignment's
+        exploration snapshot; pass it back to resume.
+        """
         from itertools import product
 
+        domain = tuple(value_domain)
+        assignments = list(product(domain, repeat=model.n))
+        start = 0
         total = 0
-        for assignment in product(value_domain, repeat=model.n):
-            report = self.check(model.initial_state(assignment), assignment)
+        inner: Optional[ExplorationCheckpoint] = None
+        if checkpoint is not None:
+            checkpoint.validate_for(self._system, model.n, domain)
+            start = checkpoint.assignment_index
+            total = checkpoint.states_total
+            inner = checkpoint.inner
+        for index in range(start, len(assignments)):
+            assignment = assignments[index]
+            report = self._check_one(
+                model.initial_state(assignment),
+                assignment,
+                self._budget.meter(),
+                inner,
+            )
+            inner = None
+            if report.inconclusive:
+                sweep = CheckAllCheckpoint(
+                    fingerprint=system_fingerprint(self._system),
+                    n=model.n,
+                    value_domain=domain,
+                    assignment_index=index,
+                    states_total=total,
+                    inner=report.checkpoint,
+                )
+                return ConsensusReport(
+                    verdict=Verdict.UNKNOWN,
+                    inputs=assignment,
+                    execution=None,
+                    cycle=None,
+                    detail=(
+                        f"budget exhausted on assignment {index + 1} of "
+                        f"{len(assignments)} ({assignment!r}): "
+                        f"{report.detail}"
+                    ),
+                    states_explored=total + report.states_explored,
+                    budget_stats=report.budget_stats,
+                    checkpoint=sweep,
+                )
             total += report.states_explored
             if not report.satisfied:
                 return report
@@ -199,13 +260,190 @@ class ConsensusChecker:
             execution=None,
             cycle=None,
             detail=(
-                f"all {len(value_domain) ** model.n} input assignments "
+                f"all {len(domain) ** model.n} input assignments "
                 "decide, agree and are valid"
             ),
             states_explored=total,
         )
 
     # -- internals ----------------------------------------------------------
+    def _check_one(
+        self,
+        initial_state: GlobalState,
+        inputs: tuple,
+        meter: BudgetMeter,
+        checkpoint: Optional[ExplorationCheckpoint],
+    ) -> ConsensusReport:
+        system = self._system
+        input_values = frozenset(inputs)
+
+        if checkpoint is not None:
+            checkpoint.validate_for(system, inputs)
+            parent = checkpoint.parent
+            queue: deque[GlobalState] = deque(checkpoint.queue)
+            terminal = checkpoint.terminal
+            edges = checkpoint.edges
+        else:
+            parent = {initial_state: None}
+            queue = deque([initial_state])
+            terminal = set()
+            edges = {}
+            meter.charge_state(initial_state)
+
+            problem = self._state_problem(initial_state, input_values)
+            if problem is not None:
+                return self._safety_report(
+                    problem[0], initial_state, parent, inputs, problem[1], 1
+                )
+
+        while queue:
+            tripped = meter.poll()
+            if tripped is not None:
+                return self._unknown_report(
+                    inputs, parent, queue, terminal, edges, meter, tripped
+                )
+            state = queue.popleft()
+            try:
+                if self._all_nonfailed_decided(state):
+                    terminal.add(state)
+                    continue
+                succs = system.successors(state)
+                edges[state] = succs
+                for action, child in succs:
+                    meter.charge_edge()
+                    fresh = child not in parent
+                    if fresh:
+                        parent[child] = (state, action)
+                        meter.charge_state(child)
+                    write_once = self._write_once_problem(state, child)
+                    if write_once is not None:
+                        # Witness the edge it was SEEN on: the BFS parent
+                        # of an already-discovered child may reach it by a
+                        # path on which the register never held the old
+                        # value, which would not replay.
+                        return self._safety_report(
+                            Verdict.WRITE_ONCE,
+                            state,
+                            parent,
+                            inputs,
+                            write_once,
+                            len(parent),
+                            via=(action, child),
+                        )
+                    problem = self._state_problem(child, input_values)
+                    if problem is not None:
+                        return self._safety_report(
+                            problem[0],
+                            child,
+                            parent,
+                            inputs,
+                            problem[1],
+                            len(parent),
+                        )
+                    if fresh:
+                        queue.append(child)
+            except KeyboardInterrupt:
+                # Re-queue the half-processed state (re-processing it on
+                # resume is idempotent) and degrade to a checkpoint.
+                queue.appendleft(state)
+                if self._strict:
+                    raise
+                return self._unknown_report(
+                    inputs,
+                    parent,
+                    queue,
+                    terminal,
+                    edges,
+                    meter,
+                    meter.mark_interrupted(),
+                )
+
+        try:
+            lasso = self._find_undecided_lasso(
+                initial_state, edges, terminal, meter
+            )
+        except KeyboardInterrupt:
+            if self._strict:
+                raise
+            return self._unknown_report(
+                inputs,
+                parent,
+                queue,
+                terminal,
+                edges,
+                meter,
+                meter.mark_interrupted(),
+            )
+        if lasso == "tripped":
+            return self._unknown_report(
+                inputs, parent, queue, terminal, edges, meter, meter.tripped
+            )
+        if lasso is not None:
+            prefix, cycle = lasso
+            return ConsensusReport(
+                verdict=Verdict.DECISION,
+                inputs=inputs,
+                execution=prefix,
+                cycle=cycle,
+                detail=(
+                    "fair infinite run on which some non-failed process "
+                    "never decides"
+                ),
+                states_explored=len(parent),
+                budget_stats=meter.stats(),
+            )
+        return ConsensusReport(
+            verdict=Verdict.SATISFIED,
+            inputs=None,
+            execution=None,
+            cycle=None,
+            detail="all runs decide, agree and are valid",
+            states_explored=len(parent),
+            budget_stats=meter.stats(),
+        )
+
+    def _unknown_report(
+        self,
+        inputs: tuple,
+        parent: dict,
+        queue: deque,
+        terminal: set,
+        edges: dict,
+        meter: BudgetMeter,
+        tripped: Optional[str],
+    ) -> ConsensusReport:
+        """Build the graceful-degradation report (or raise when strict)."""
+        if self._strict:
+            raise ExplorationLimitExceeded(
+                f"exploration budget exhausted ({tripped}) after "
+                f"{len(parent)} states from inputs {inputs!r}"
+            )
+        stats = meter.stats(frontier=len(queue))
+        cp = ExplorationCheckpoint(
+            fingerprint=system_fingerprint(self._system),
+            inputs=inputs,
+            parent=parent,
+            queue=list(queue),
+            terminal=terminal,
+            edges=edges,
+            limit=tripped,
+            states_seen=len(parent),
+        )
+        return ConsensusReport(
+            verdict=Verdict.UNKNOWN,
+            inputs=inputs,
+            execution=None,
+            cycle=None,
+            detail=(
+                f"inconclusive: {stats.describe()}; no violation found "
+                "before the budget tripped (resume from the checkpoint "
+                "to continue)"
+            ),
+            states_explored=len(parent),
+            budget_stats=stats,
+            checkpoint=cp,
+        )
+
     def _nonfailed_decisions(self, state: GlobalState) -> dict[int, Hashable]:
         failed = self._system.failed_at(state)
         return {
@@ -258,11 +496,21 @@ class ConsensusChecker:
         inputs: tuple,
         detail: str,
         explored: int,
+        via: Optional[tuple] = None,
     ) -> ConsensusReport:
+        execution = _path_to(state, parent)
+        if via is not None:
+            # Append the specific offending edge (action, child) so the
+            # witness demonstrates the violation on the very transition
+            # it was detected on, not on the BFS discovery path.
+            action, child = via
+            execution = Execution(
+                execution.states + (child,), execution.actions + (action,)
+            )
         return ConsensusReport(
             verdict=verdict,
             inputs=inputs,
-            execution=_path_to(state, parent),
+            execution=execution,
             cycle=None,
             detail=detail,
             states_explored=explored,
@@ -273,7 +521,8 @@ class ConsensusChecker:
         initial_state: GlobalState,
         edges: dict[GlobalState, list[tuple[Hashable, GlobalState]]],
         terminal: set[GlobalState],
-    ) -> Optional[tuple[Execution, Execution]]:
+        meter: Optional[BudgetMeter] = None,
+    ):
         """A fair infinite run starving a nonfaulty process, as a lasso.
 
         For each process ``i`` we restrict the explored graph to the edges
@@ -286,10 +535,17 @@ class ConsensusChecker:
         per-process decomposition is complete: any violating run starves
         some specific nonfaulty process.  The prefix from the initial
         state to the cycle may use arbitrary edges.
+
+        Returns the ``(prefix, cycle)`` pair, None when no process can be
+        starved, or the sentinel string ``"tripped"`` when the wall-clock
+        budget ran out between per-process passes (the BFS is already
+        complete at that point, so a resumed run redoes only this phase).
         """
         system = self._system
         n = initial_state.n
         for i in range(n):
+            if meter is not None and meter.poll() is not None:
+                return "tripped"
             restricted: dict[GlobalState, list[tuple[Hashable, GlobalState]]] = {}
             for state, succs in edges.items():
                 if i in system.decisions(state) or i in system.failed_at(state):

@@ -6,6 +6,16 @@ frontier sizes, and layer-size statistics.  These are the numbers the
 ablation experiments (E9) report — how big the submodels defined by each
 layering actually are, and how much sharing the canonical hashable state
 representation buys.
+
+Both explorers charge a cooperative :class:`~repro.resilience.Budget`
+(states, edges, wall clock, best-effort memory); the legacy
+``max_states: int`` parameter is kept as a deprecated alias that builds a
+states-only budget via :meth:`Budget.of`.  :func:`explore` degrades
+gracefully by default: on exhaustion it returns the partial statistics
+with ``complete=False`` and the tripped limit recorded (pass
+``strict=True`` to restore the raising behaviour).
+:func:`reachable_states` returns a bare ``{state: depth}`` mapping, which
+cannot express partiality, so it stays strict by default.
 """
 
 from __future__ import annotations
@@ -13,9 +23,11 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Iterable
 from dataclasses import dataclass, field
+from typing import Optional, Union
 
 from repro.core.state import GlobalState
 from repro.core.valence import ExplorationLimitExceeded
+from repro.resilience.budget import Budget, DEFAULT_MAX_STATES
 
 
 @dataclass
@@ -29,6 +41,9 @@ class ExplorationStats:
     duplicate_hits: int = 0
     min_layer_size: int = 0
     max_layer_size: int = 0
+    complete: bool = True
+    limit: Optional[str] = None
+    seconds: float = 0.0
 
     @property
     def sharing_ratio(self) -> float:
@@ -38,31 +53,51 @@ class ExplorationStats:
             return 0.0
         return self.duplicate_hits / self.edges
 
+    @property
+    def states_per_second(self) -> float:
+        """Exploration throughput (0.0 when no time was measured)."""
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.states / self.seconds
+
 
 def reachable_states(
     system,
     roots: Iterable[GlobalState],
     max_depth: int | None = None,
-    max_states: int = 2_000_000,
+    max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
+    strict: bool = True,
 ) -> dict[GlobalState, int]:
-    """BFS the reachable set; returns ``{state: first-reached depth}``."""
+    """BFS the reachable set; returns ``{state: first-reached depth}``.
+
+    With ``strict=False`` a budget exhaustion returns the partial mapping
+    discovered so far instead of raising — callers who opt in must treat
+    the result as a lower bound on reachability.
+    """
+    meter = Budget.of(max_states).meter()
     depth: dict[GlobalState, int] = {}
     queue: deque[GlobalState] = deque()
     for root in roots:
         if root not in depth:
             depth[root] = 0
+            meter.charge_state(root)
             queue.append(root)
     while queue:
         state = queue.popleft()
         if max_depth is not None and depth[state] >= max_depth:
             continue
         for _, child in system.successors(state):
+            meter.charge_edge()
             if child not in depth:
                 depth[child] = depth[state] + 1
-                if len(depth) > max_states:
-                    raise ExplorationLimitExceeded(
-                        f"more than {max_states} reachable states"
-                    )
+                tripped = meter.charge_state(child)
+                if tripped is not None:
+                    if strict:
+                        raise ExplorationLimitExceeded(
+                            f"exploration budget exhausted ({tripped}) "
+                            f"after {meter.states} reachable states"
+                        )
+                    return depth
                 queue.append(child)
     return depth
 
@@ -71,19 +106,28 @@ def explore(
     system,
     roots: Iterable[GlobalState],
     max_depth: int | None = None,
-    max_states: int = 2_000_000,
+    max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
+    strict: bool = False,
 ) -> ExplorationStats:
-    """BFS with full statistics (see :class:`ExplorationStats`)."""
+    """BFS with full statistics (see :class:`ExplorationStats`).
+
+    Budget exhaustion returns the partial statistics with
+    ``complete=False`` and the tripped limit named; ``strict=True``
+    raises :class:`ExplorationLimitExceeded` instead.
+    """
+    meter = Budget.of(max_states).meter()
     stats = ExplorationStats()
     depth: dict[GlobalState, int] = {}
     queue: deque[GlobalState] = deque()
     for root in roots:
         if root not in depth:
             depth[root] = 0
+            meter.charge_state(root)
             queue.append(root)
     per_depth: dict[int, int] = {0: len(depth)}
     layer_sizes: list[int] = []
-    while queue:
+    tripped: Optional[str] = None
+    while queue and tripped is None:
         state = queue.popleft()
         if max_depth is not None and depth[state] >= max_depth:
             continue
@@ -91,20 +135,30 @@ def explore(
         layer_sizes.append(len(children))
         for child in children:
             stats.edges += 1
+            tripped = meter.charge_edge()
+            if tripped is not None:
+                break
             if child in depth:
                 stats.duplicate_hits += 1
                 continue
             depth[child] = depth[state] + 1
             per_depth[depth[child]] = per_depth.get(depth[child], 0) + 1
-            if len(depth) > max_states:
-                raise ExplorationLimitExceeded(
-                    f"more than {max_states} reachable states"
-                )
+            tripped = meter.charge_state(child)
+            if tripped is not None:
+                break
             queue.append(child)
+    if tripped is not None and strict:
+        raise ExplorationLimitExceeded(
+            f"exploration budget exhausted ({tripped}) after "
+            f"{len(depth)} reachable states"
+        )
     stats.states = len(depth)
     stats.depth_reached = max(per_depth) if per_depth else 0
     stats.frontier_sizes = [per_depth[d] for d in sorted(per_depth)]
     if layer_sizes:
         stats.min_layer_size = min(layer_sizes)
         stats.max_layer_size = max(layer_sizes)
+    stats.complete = tripped is None
+    stats.limit = tripped
+    stats.seconds = meter.elapsed()
     return stats

@@ -45,8 +45,10 @@ from __future__ import annotations
 
 from collections.abc import Hashable
 from dataclasses import dataclass
+from typing import Optional, Union
 
 from repro.core.state import GlobalState
+from repro.resilience.budget import Budget, DEFAULT_MAX_STATES
 
 
 class ExplorationLimitExceeded(RuntimeError):
@@ -54,7 +56,9 @@ class ExplorationLimitExceeded(RuntimeError):
 
     Usually means the protocol under analysis does not have a finite
     reachable state space (see :mod:`repro.protocols.base`), or the model
-    instance is too large for exhaustive analysis.
+    instance is too large for exhaustive analysis.  Engines that degrade
+    gracefully (the default) report exhaustion through their results
+    instead of raising; pass ``strict=True`` to restore this exception.
     """
 
 
@@ -76,10 +80,17 @@ class ValenceResult:
             :class:`repro.core.checker.ConsensusChecker` or
             :class:`repro.tasks.covering.OutcomeAnalyzer`; always
             ``outcome.diverges implies valence.diverges``.
+        complete: whether the analysis explored the full reachable
+            subgraph.  When False (a budget tripped mid-exploration),
+            ``values`` is a sound *lower bound* — every listed value is
+            genuinely reachable, but others may exist — and ``diverges``
+            is undetermined (reported False).  Incomplete results are
+            never memoized.
     """
 
     values: frozenset
     diverges: bool
+    complete: bool = True
 
     def is_v_valent(self, v: Hashable) -> bool:
         """Whether some extension decides *v* (Section 3's v-valence)."""
@@ -87,12 +98,18 @@ class ValenceResult:
 
     @property
     def bivalent(self) -> bool:
-        """At least two distinct decision values are reachable."""
+        """At least two distinct decision values are reachable.
+
+        Sound even for incomplete results: the listed values were all
+        actually observed, so two of them certify bivalence.
+        """
         return len(self.values) >= 2
 
     @property
     def univalent(self) -> bool:
-        return len(self.values) == 1
+        """Exactly one reachable decision value — requires completeness
+        (an incomplete result cannot exclude further values)."""
+        return self.complete and len(self.values) == 1
 
     def univalent_value(self) -> Hashable:
         """The unique reachable decision value of a univalent state."""
@@ -115,12 +132,29 @@ class ValenceAnalyzer:
     Args:
         system: any object with ``successors``, ``failed_at`` and
             ``decisions`` (a model or a layering).
-        max_states: exploration budget shared across all queries.
+        max_states: exploration budget shared across all queries — a
+            legacy state count or a full :class:`~repro.resilience.Budget`
+            (states, edges, wall clock, memory).
+        strict: if True, budget exhaustion raises
+            :class:`ExplorationLimitExceeded` (the historical behaviour);
+            by default the analyzer degrades gracefully, returning an
+            incomplete :class:`ValenceResult` (``complete=False``) whose
+            value set is a sound lower bound.  Proof-construction code
+            (the bivalence walks, the lemma drivers) passes
+            ``strict=True`` because acting on a partial valence there
+            would be unsound.
     """
 
-    def __init__(self, system, max_states: int = 2_000_000) -> None:
+    def __init__(
+        self,
+        system,
+        max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
+        strict: bool = False,
+    ) -> None:
         self._system = system
-        self._max_states = max_states
+        self._budget = Budget.of(max_states)
+        self._meter = self._budget.meter()
+        self._strict = strict
         self._memo: dict[GlobalState, ValenceResult] = {}
 
     @property
@@ -155,29 +189,58 @@ class ValenceAnalyzer:
 
     # -- queries --------------------------------------------------------------
     def valence(self, state: GlobalState) -> ValenceResult:
-        """The exact :class:`ValenceResult` of *state*."""
+        """The :class:`ValenceResult` of *state*.
+
+        Exact (``complete=True``) whenever the exploration finishes
+        within budget; on exhaustion in non-strict mode, an incomplete
+        lower-bound result (see :class:`ValenceResult`) that is *not*
+        memoized.
+        """
         cached = self._memo.get(state)
         if cached is not None:
             return cached
-        self._analyze(state)
-        return self._memo[state]
+        return self._analyze(state)
 
     def bivalent(self, state: GlobalState) -> bool:
         """Shorthand: whether *state* is bivalent."""
         return self.valence(state).bivalent
 
     # -- the SCC/condensation pass ---------------------------------------------
-    def _analyze(self, root: GlobalState) -> None:
-        succ = self._explore(root)
+    def _analyze(self, root: GlobalState) -> ValenceResult:
+        succ, tripped, seen = self._explore(root)
+        if tripped is not None:
+            if self._strict:
+                raise ExplorationLimitExceeded(
+                    f"valence budget exhausted ({tripped}) after "
+                    f"{self._meter.states} states; is the protocol "
+                    "finite-state?"
+                )
+            values: set = set()
+            for state in seen:
+                memoed = self._memo.get(state)
+                if memoed is not None:
+                    values |= memoed.values
+                else:
+                    values |= self.own_values(state)
+            return ValenceResult(frozenset(values), False, complete=False)
         self._tarjan_fold(root, succ)
+        return self._memo[root]
 
     def _explore(
         self, root: GlobalState
-    ) -> dict[GlobalState, tuple[GlobalState, ...]]:
-        """Build the reachable subgraph, stopping at terminal/memoized states."""
+    ) -> tuple[
+        dict[GlobalState, tuple[GlobalState, ...]],
+        Optional[str],
+        set[GlobalState],
+    ]:
+        """Build the reachable subgraph, stopping at terminal/memoized
+        states.  Returns ``(succ, tripped_limit, seen)`` — ``tripped``
+        is None when the subgraph was explored completely."""
+        meter = self._meter
         succ: dict[GlobalState, tuple[GlobalState, ...]] = {}
         stack = [root]
         seen = {root}
+        meter.charge_state(root)
         while stack:
             state = stack.pop()
             if state in self._memo:
@@ -188,6 +251,7 @@ class ValenceAnalyzer:
             children = []
             child_seen = set()
             for _, child in self._system.successors(state):
+                meter.charge_edge()
                 if child not in child_seen:
                     child_seen.add(child)
                     children.append(child)
@@ -197,16 +261,15 @@ class ValenceAnalyzer:
                     "must have successors"
                 )
             succ[state] = tuple(children)
-            if len(succ) + len(self._memo) > self._max_states:
-                raise ExplorationLimitExceeded(
-                    f"more than {self._max_states} states reachable; "
-                    "is the protocol finite-state?"
-                )
+            tripped = meter.poll() if (len(succ) & 0xFF) == 0 else None
             for child in children:
                 if child not in seen:
                     seen.add(child)
+                    tripped = meter.charge_state(child) or tripped
                     stack.append(child)
-        return succ
+            if tripped is not None:
+                return succ, tripped, seen
+        return succ, None, seen
 
     def _tarjan_fold(
         self,

@@ -1,0 +1,74 @@
+"""The resilience layer: budgets, checkpoints and checker fault injection.
+
+Exhaustive verification at scale needs three guarantees this package
+provides on top of the core engines:
+
+* **Bounded resources** — :class:`Budget` bundles limits on states,
+  edges, wall-clock time and (best-effort) memory, checked cooperatively
+  inside every exploration loop (:mod:`repro.resilience.budget`).
+* **No lost work** — a budget-exhausted search returns an ``UNKNOWN``
+  verdict carrying statistics and an :class:`ExplorationCheckpoint` that
+  resumes the search exactly where it stopped
+  (:mod:`repro.resilience.checkpoint`).  Crucially, degradation is
+  *sound*: a violation found before the budget tripped is still returned
+  as a definitive refutation — a budget can only ever turn ``SATISFIED``
+  into ``UNKNOWN``, never a violation into ``SATISFIED``.
+* **A validated validator** — :mod:`repro.resilience.mutation` injects
+  known fault classes (decision flips, early decisions, decision
+  overwrites, dropped relays, decision starvation) into shipped
+  protocols and asserts the checker refutes every mutant with a
+  replayable witness — the robustness analogue of Theorem 4.2's
+  converse.
+
+:mod:`repro.resilience.mutation` is imported lazily (it depends on the
+checker, which itself uses this package's budgets).
+"""
+
+from repro.resilience.budget import (
+    Budget,
+    BudgetMeter,
+    BudgetStats,
+)
+from repro.resilience.checkpoint import (
+    CampaignCheckpoint,
+    CheckAllCheckpoint,
+    CheckpointMismatch,
+    ExplorationCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+    system_fingerprint,
+)
+
+_MUTATION_EXPORTS = (
+    "MutantProtocol",
+    "MutantResult",
+    "MUTATION_OPERATORS",
+    "kill_rate",
+    "mutation_campaign",
+    "mutation_kill_table",
+    "replay_witness",
+)
+
+__all__ = [
+    "Budget",
+    "BudgetMeter",
+    "BudgetStats",
+    "CampaignCheckpoint",
+    "CheckAllCheckpoint",
+    "CheckpointMismatch",
+    "ExplorationCheckpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+    "system_fingerprint",
+    *_MUTATION_EXPORTS,
+]
+
+
+def __getattr__(name: str):
+    """Lazily resolve the mutation-harness exports (avoids the circular
+    import resilience -> mutation -> checker -> resilience.budget)."""
+    if name in _MUTATION_EXPORTS:
+        from repro.resilience import mutation
+
+        return getattr(mutation, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -23,12 +23,13 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Hashable
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from repro.core.checker import ConsensusChecker, Verdict
 from repro.core.run import Execution
 from repro.core.state import GlobalState
 from repro.core.valence import ExplorationLimitExceeded
+from repro.resilience.budget import Budget, DEFAULT_MAX_STATES
 from repro.tasks.problem import DecisionProblem
 from repro.tasks.simplex import Simplex
 
@@ -55,14 +56,24 @@ class TaskChecker:
     Reuses the consensus checker's exploration and lasso machinery; only
     the state-level safety predicate differs (Δ-membership instead of
     agreement/value-validity).
+
+    ``max_states`` accepts a state count or a full
+    :class:`~repro.resilience.Budget`.  The task checker is always
+    *strict*: exhaustion raises
+    :class:`~repro.core.valence.ExplorationLimitExceeded` (the
+    solvability drivers interpret a SATISFIED report as a solvability
+    claim, which a silently truncated search cannot support).
     """
 
     def __init__(
-        self, system, problem: DecisionProblem, max_states: int = 2_000_000
+        self,
+        system,
+        problem: DecisionProblem,
+        max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
     ) -> None:
         self._system = system
         self._problem = problem
-        self._max_states = max_states
+        self._budget = Budget.of(max_states)
 
     def check(
         self, initial_state: GlobalState, input_facet: Simplex
@@ -70,11 +81,13 @@ class TaskChecker:
         """Check all runs from the initial state of one input facet."""
         system = self._system
         problem = self._problem
-        helper = ConsensusChecker(system, self._max_states)
+        helper = ConsensusChecker(system, self._budget)
+        meter = self._budget.meter()
         parent: dict[GlobalState, Optional[tuple]] = {initial_state: None}
         queue: deque[GlobalState] = deque([initial_state])
         terminal: set[GlobalState] = set()
         edges: dict[GlobalState, list[tuple[Hashable, GlobalState]]] = {}
+        meter.charge_state(initial_state)
 
         problem_detail = self._validity_problem(initial_state, input_facet)
         if problem_detail is not None:
@@ -84,6 +97,12 @@ class TaskChecker:
             )
 
         while queue:
+            tripped = meter.poll()
+            if tripped is not None:
+                raise ExplorationLimitExceeded(
+                    f"task-check budget exhausted ({tripped}) after "
+                    f"{len(parent)} states from {input_facet!r}"
+                )
             state = queue.popleft()
             if helper._all_nonfailed_decided(state):
                 terminal.add(state)
@@ -91,14 +110,11 @@ class TaskChecker:
             succs = system.successors(state)
             edges[state] = succs
             for action, child in succs:
+                meter.charge_edge()
                 fresh = child not in parent
                 if fresh:
                     parent[child] = (state, action)
-                    if len(parent) > self._max_states:
-                        raise ExplorationLimitExceeded(
-                            f"more than {self._max_states} states from "
-                            f"{input_facet!r}"
-                        )
+                    meter.charge_state(child)
                     queue.append(child)
                 write_once = helper._write_once_problem(state, child)
                 if write_once is not None:

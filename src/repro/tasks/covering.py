@@ -45,9 +45,11 @@ from __future__ import annotations
 
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
+from typing import Union
 
 from repro.core.state import GlobalState
 from repro.core.valence import ExplorationLimitExceeded
+from repro.resilience.budget import Budget, DEFAULT_MAX_STATES
 from repro.tasks.complex import Complex
 from repro.tasks.simplex import Simplex
 from repro.util.graphs import Graph, is_connected
@@ -101,11 +103,22 @@ class OutcomeResult:
 
 
 class OutcomeAnalyzer:
-    """Memoized run-outcome sets over a layered system (module docstring)."""
+    """Memoized run-outcome sets over a layered system (module docstring).
 
-    def __init__(self, system, max_states: int = 2_000_000) -> None:
+    ``max_states`` accepts a state count or a full
+    :class:`~repro.resilience.Budget` (states, edges, wall clock,
+    memory).  Outcome analysis is always *strict* — the covering
+    quantification acts on exact outcome sets, so a truncated set could
+    flip always-valence-connectivity verdicts; budget exhaustion raises
+    :class:`~repro.core.valence.ExplorationLimitExceeded`.
+    """
+
+    def __init__(
+        self, system, max_states: Union[int, Budget] = DEFAULT_MAX_STATES
+    ) -> None:
         self._system = system
-        self._max_states = max_states
+        self._budget = Budget.of(max_states)
+        self._meter = self._budget.meter()
         self._memo: dict[GlobalState, OutcomeResult] = {}
 
     def outcome(self, state: GlobalState) -> OutcomeResult:
@@ -133,11 +146,13 @@ class OutcomeAnalyzer:
         self._propagate(root, succ, base_out, base_div)
 
     def _explore(self, root: GlobalState):
+        meter = self._meter
         succ: dict[GlobalState, tuple] = {}
         actions: dict[tuple[GlobalState, GlobalState], list] = {}
         stack = [root]
         seen = {root}
-        while stack:
+        tripped = meter.charge_state(root)
+        while stack and tripped is None:
             state = stack.pop()
             if state in self._memo or self._is_terminal(state):
                 succ.setdefault(state, ())
@@ -145,19 +160,23 @@ class OutcomeAnalyzer:
             children = []
             child_seen = set()
             for action, child in self._system.successors(state):
+                meter.charge_edge()
                 actions.setdefault((state, child), []).append(action)
                 if child not in child_seen:
                     child_seen.add(child)
                     children.append(child)
             succ[state] = tuple(children)
-            if len(succ) > self._max_states:
-                raise ExplorationLimitExceeded(
-                    f"more than {self._max_states} states reachable"
-                )
+            tripped = meter.poll() if (len(succ) & 0xFF) == 0 else None
             for child in children:
                 if child not in seen:
                     seen.add(child)
+                    tripped = meter.charge_state(child) or tripped
                     stack.append(child)
+        if tripped is not None:
+            raise ExplorationLimitExceeded(
+                f"outcome budget exhausted ({tripped}) after "
+                f"{meter.states} states"
+            )
         return succ, actions
 
     def _base_outcomes(self, n: int, succ, actions):

@@ -24,7 +24,7 @@ when a solver protocol is registered — the checker's verdict per model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from repro.core.checker import Verdict
 from repro.layerings.permutation import PermutationLayering
@@ -33,6 +33,7 @@ from repro.layerings.synchronic_rw import SynchronicRWLayering
 from repro.models.async_mp import AsyncMessagePassingModel
 from repro.models.shared_memory import SharedMemoryModel
 from repro.protocols.base import DualProtocol
+from repro.resilience.budget import Budget, DEFAULT_MAX_STATES
 from repro.tasks.checker import TaskChecker, TaskReport
 from repro.tasks.problem import DecisionProblem
 from repro.tasks.thick import problem_is_k_thick_connected
@@ -98,7 +99,7 @@ def one_resilient_layerings(
 def verify_protocol_solves(
     problem: DecisionProblem,
     protocol: DualProtocol,
-    max_states: int = 2_000_000,
+    max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
     models: Optional[dict] = None,
 ) -> dict[str, TaskReport]:
     """Exhaustively check a protocol against a task in each 1-resilient
@@ -116,7 +117,7 @@ def corollary_7_3_row(
     solver: Optional[DualProtocol] = None,
     max_subproblems: int = 4096,
     max_input_set_size: Optional[int] = None,
-    max_states: int = 2_000_000,
+    max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
 ) -> SolvabilityRow:
     """One task's row of the solvability matrix (see module docstring)."""
     thick = problem_is_k_thick_connected(
@@ -138,7 +139,7 @@ def corollary_7_3_row(
 def defeat_in_every_model(
     problem: DecisionProblem,
     candidate: DualProtocol,
-    max_states: int = 2_000_000,
+    max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
 ) -> dict[str, TaskReport]:
     """Run a candidate for an *unsolvable* task through every submodel and
     return the per-model defeat reports (none may be SATISFIED — that is

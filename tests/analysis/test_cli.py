@@ -14,12 +14,65 @@ class TestParser:
         args = build_parser().parse_args(["lower-bound"])
         assert args.n == 3 and args.t == 1
         assert args.max_states == 1_000_000
+        assert args.timeout is None
+        assert args.checkpoint is None and args.resume is None
 
     def test_global_flag_position(self):
         args = build_parser().parse_args(
             ["--max-states", "5000", "lemmas"]
         )
         assert args.max_states == 5000
+
+    def test_resilience_flags(self):
+        args = build_parser().parse_args(
+            [
+                "--timeout",
+                "60",
+                "--checkpoint",
+                "run.ckpt",
+                "--resume",
+                "old.ckpt",
+                "lower-bound",
+            ]
+        )
+        assert args.timeout == 60.0
+        assert args.checkpoint == "run.ckpt" and args.resume == "old.ckpt"
+
+    def test_every_subcommand_accepts_the_budget_flags(self):
+        parser = build_parser()
+        for command in (
+            "lower-bound",
+            "impossibility",
+            "solvability",
+            "lemmas",
+            "diameter",
+        ):
+            args = parser.parse_args(
+                ["--max-states", "123", "--timeout", "9", command]
+            )
+            assert args.max_states == 123 and args.timeout == 9.0
+
+    def test_budget_flags_also_accepted_after_the_subcommand(self):
+        parser = build_parser()
+        for command in (
+            "lower-bound",
+            "impossibility",
+            "solvability",
+            "lemmas",
+            "diameter",
+        ):
+            args = parser.parse_args(
+                [command, "--max-states", "123", "--timeout", "9"]
+            )
+            assert args.max_states == 123 and args.timeout == 9.0
+
+    def test_trailing_flags_do_not_clobber_leading_ones(self):
+        # A subparser default must not overwrite a value parsed from the
+        # top-level position.
+        args = build_parser().parse_args(
+            ["--timeout", "60", "lower-bound", "--max-states", "7"]
+        )
+        assert args.timeout == 60.0 and args.max_states == 7
 
 
 class TestCommands:
@@ -81,3 +134,52 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert "identity" in out and "constant" in out
+
+
+class TestResilienceExitCodes:
+    def test_budget_exhaustion_is_inconclusive_exit_2(self, capsys):
+        assert main(["--max-states", "5", "lower-bound"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown" in captured.out
+        assert "inconclusive" in captured.err
+        assert "--max-states" in captured.err  # the suggested bump
+
+    def test_strict_limit_paths_also_exit_2(self, capsys):
+        # The lemma drivers are strict: exhaustion raises and the top
+        # level converts it into the same inconclusive exit code.
+        assert main(["--max-states", "3", "lemmas"]) == 2
+        captured = capsys.readouterr()
+        assert "inconclusive" in captured.err
+
+    def test_checkpoint_then_resume_reaches_verdict(self, tmp_path, capsys):
+        path = str(tmp_path / "campaign.ckpt")
+        assert main(["--max-states", "5", "--checkpoint", path, "lower-bound"]) == 2
+        assert (tmp_path / "campaign.ckpt").exists()
+        capsys.readouterr()
+        assert main(["--max-states", "1000", "--resume", path, "lower-bound"]) == 0
+        out = capsys.readouterr().out
+        assert "crossover holds" in out
+
+    def test_resume_missing_file_fails_cleanly(self, capsys):
+        assert main(["--resume", "/nonexistent/x.ckpt", "lower-bound"]) == 2
+        assert "cannot resume" in capsys.readouterr().err
+
+    def test_unwritable_checkpoint_path_degrades_to_diagnostic(self, capsys):
+        # The run already has a result to report; a bad --checkpoint
+        # path must not replace it with a traceback.
+        code = main(
+            [
+                "--max-states",
+                "5",
+                "--checkpoint",
+                "/nonexistent-dir/x.ckpt",
+                "lower-bound",
+            ]
+        )
+        assert code == 2
+        assert "cannot write checkpoint" in capsys.readouterr().err
+
+    def test_timeout_zero_is_inconclusive(self, capsys):
+        assert main(["--timeout", "0", "lower-bound"]) == 2
+        captured = capsys.readouterr()
+        assert "inconclusive" in captured.err

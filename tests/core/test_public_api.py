@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.protocols",
     "repro.tasks",
     "repro.analysis",
+    "repro.resilience",
     "repro.util",
 ]
 

@@ -130,14 +130,32 @@ class TestFailedProcesses:
 
 
 class TestLimits:
-    def test_exploration_limit(self):
-        # A long chain exceeding a tiny budget.
+    def test_exploration_limit_strict(self):
+        # A long chain exceeding a tiny budget: strict mode raises.
+        edges = {f"s{i}": [("n", f"s{i+1}")] for i in range(100)}
+        edges["s100"] = [("s", "s100")]
+        sys = ToySystem(edges=edges, decisions={"s100": {0: 0, 1: 0}})
+        an = ValenceAnalyzer(sys, max_states=10, strict=True)
+        with pytest.raises(ExplorationLimitExceeded):
+            an.valence(sys.state("s0"))
+
+    def test_exploration_limit_graceful(self):
+        # By default the same exhaustion degrades to an incomplete
+        # lower-bound result that is not memoized.
         edges = {f"s{i}": [("n", f"s{i+1}")] for i in range(100)}
         edges["s100"] = [("s", "s100")]
         sys = ToySystem(edges=edges, decisions={"s100": {0: 0, 1: 0}})
         an = ValenceAnalyzer(sys, max_states=10)
-        with pytest.raises(ExplorationLimitExceeded):
-            an.valence(sys.state("s0"))
+        result = an.valence(sys.state("s0"))
+        assert not result.complete
+        assert not result.univalent  # incompleteness blocks univalence
+        assert result.values == frozenset()  # decision not yet reached
+
+    def test_incomplete_bivalence_is_sound(self, toy_diamond):
+        # Values already observed certify bivalence even when the budget
+        # trips (lower-bound semantics).
+        full = ValenceAnalyzer(toy_diamond).valence(toy_diamond.state("x"))
+        assert full.complete and full.bivalent
 
     def test_cross_query_reuse(self, toy_diamond):
         an = ValenceAnalyzer(toy_diamond)

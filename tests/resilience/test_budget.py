@@ -1,0 +1,189 @@
+"""Unit tests for budgets, meters and graceful checker degradation."""
+
+import pytest
+
+from repro.core.checker import ConsensusChecker, Verdict
+from repro.core.valence import ExplorationLimitExceeded
+from repro.resilience.budget import (
+    Budget,
+    BudgetStats,
+    LIMIT_EDGES,
+    LIMIT_INTERRUPTED,
+    LIMIT_STATES,
+    LIMIT_TIME,
+)
+from tests.conftest import ToySystem
+
+
+class TestBudgetOf:
+    def test_int_coerces(self):
+        b = Budget.of(100)
+        assert b.max_states == 100 and b.max_seconds is None
+
+    def test_budget_passes_through(self):
+        b = Budget(max_states=5, max_edges=7)
+        assert Budget.of(b) is b
+
+    def test_none_uses_default(self):
+        assert Budget.of(None, default=42).max_states == 42
+        assert Budget.of(None).max_states is None
+
+    def test_unlimited(self):
+        b = Budget.unlimited()
+        assert b.describe() == "unlimited"
+        meter = b.meter()
+        for _ in range(1000):
+            assert meter.charge_state() is None
+
+    def test_describe_lists_limits(self):
+        text = Budget(max_states=10, max_seconds=2.0).describe()
+        assert "states<=10" in text and "time<=2s" in text
+
+
+class TestMeter:
+    def test_states_limit_trips(self):
+        meter = Budget(max_states=3).meter()
+        assert meter.charge_state() is None
+        assert meter.charge_state() is None
+        assert meter.charge_state() is None
+        assert meter.charge_state() == LIMIT_STATES
+        assert meter.tripped == LIMIT_STATES
+
+    def test_edges_limit_trips(self):
+        meter = Budget(max_edges=2).meter()
+        assert meter.charge_edge() is None
+        assert meter.charge_edge() is None
+        assert meter.charge_edge() == LIMIT_EDGES
+
+    def test_deadline_trips_on_poll(self):
+        meter = Budget(max_seconds=0.0).meter()
+        assert meter.poll() == LIMIT_TIME
+
+    def test_deadline_is_anchored_at_budget_construction(self):
+        # Two meters from the same budget share one absolute deadline —
+        # the CLI --timeout bounds the whole command, not each analysis.
+        budget = Budget(max_seconds=0.0)
+        assert budget.meter().poll() == LIMIT_TIME
+        assert budget.meter().poll() == LIMIT_TIME
+
+    def test_memory_estimate_and_limit(self):
+        meter = Budget(max_memory_bytes=1).meter()
+        meter.charge_state(("some", "state", "tuple"))
+        assert meter.memory_estimate() > 1
+        assert meter.poll() == "memory"
+
+    def test_mark_interrupted(self):
+        meter = Budget().meter()
+        assert meter.mark_interrupted() == LIMIT_INTERRUPTED
+        assert meter.stats().limit == LIMIT_INTERRUPTED
+
+    def test_stats_snapshot(self):
+        meter = Budget(max_states=1).meter()
+        meter.charge_state()
+        meter.charge_state()
+        stats = meter.stats(frontier=4)
+        assert isinstance(stats, BudgetStats)
+        assert stats.states == 2 and stats.limit == LIMIT_STATES
+        assert stats.frontier == 4
+        assert "stopped by states limit" in stats.describe()
+
+
+def _long_chain(length=50, decide_at_end=True):
+    edges = {f"s{i}": [("n", f"s{i+1}")] for i in range(length)}
+    edges[f"s{length}"] = [("s", f"s{length}")]
+    decisions = (
+        {f"s{length}": {0: 0, 1: 0}} if decide_at_end else {}
+    )
+    return ToySystem(edges=edges, decisions=decisions)
+
+
+class TestGracefulChecker:
+    def test_budget_trip_returns_unknown_with_stats(self):
+        sys_ = _long_chain()
+        checker = ConsensusChecker(sys_, max_states=10)
+        report = checker.check(sys_.state("s0"), inputs=(0, 0))
+        assert report.verdict is Verdict.UNKNOWN
+        assert report.inconclusive and not report.refuted
+        assert not report.satisfied
+        assert report.budget_stats is not None
+        assert report.budget_stats.limit == LIMIT_STATES
+        assert report.budget_stats.frontier > 0
+        assert report.checkpoint is not None
+
+    def test_strict_restores_the_exception(self):
+        sys_ = _long_chain()
+        checker = ConsensusChecker(sys_, max_states=10, strict=True)
+        with pytest.raises(ExplorationLimitExceeded):
+            checker.check(sys_.state("s0"), inputs=(0, 0))
+
+    def test_violation_before_trip_is_still_definitive(self):
+        # A violating state within the first few steps must be reported
+        # as REFUTED even under a budget that would trip soon after.
+        sys_ = ToySystem(
+            edges={
+                "x": [("a", "bad")],
+                "bad": [("s", "bad")],
+            },
+            decisions={"bad": {0: 0, 1: 1}},
+        )
+        report = ConsensusChecker(sys_, max_states=2).check(
+            sys_.state("x"), inputs=(0, 1)
+        )
+        assert report.verdict is Verdict.AGREEMENT
+        assert report.refuted
+
+    def test_unknown_never_reported_satisfied(self):
+        # Budget smaller than the space: the checker must not claim
+        # SATISFIED for the part it saw.
+        sys_ = _long_chain()
+        report = ConsensusChecker(sys_, max_states=5).check(
+            sys_.state("s0"), inputs=(0, 0)
+        )
+        assert not report.satisfied and report.verdict is Verdict.UNKNOWN
+
+    def test_full_budget_reports_satisfied_with_stats(self):
+        sys_ = _long_chain()
+        report = ConsensusChecker(sys_).check(sys_.state("s0"), inputs=(0, 0))
+        assert report.satisfied
+        assert report.budget_stats is not None
+        assert report.budget_stats.limit is None
+
+
+class _InterruptingSystem(ToySystem):
+    """Raises KeyboardInterrupt from the k-th successors() call."""
+
+    def __init__(self, *args, interrupt_after=3, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._calls = 0
+        self._interrupt_after = interrupt_after
+
+    def successors(self, state):
+        self._calls += 1
+        if self._calls == self._interrupt_after:
+            raise KeyboardInterrupt
+        return super().successors(state)
+
+
+class TestKeyboardInterrupt:
+    def test_interrupt_degrades_to_unknown_checkpoint(self):
+        edges = {f"s{i}": [("n", f"s{i+1}")] for i in range(20)}
+        edges["s20"] = [("s", "s20")]
+        sys_ = _InterruptingSystem(
+            edges=edges,
+            decisions={"s20": {0: 0, 1: 0}},
+            interrupt_after=5,
+        )
+        report = ConsensusChecker(sys_).check(sys_.state("s0"), inputs=(0, 0))
+        assert report.verdict is Verdict.UNKNOWN
+        assert report.interrupted
+        assert report.budget_stats.limit == LIMIT_INTERRUPTED
+        assert report.checkpoint is not None
+
+    def test_interrupt_strict_reraises(self):
+        sys_ = _InterruptingSystem(
+            edges={"x": [("s", "x")]}, interrupt_after=1
+        )
+        with pytest.raises(KeyboardInterrupt):
+            ConsensusChecker(sys_, strict=True).check(
+                sys_.state("x"), inputs=(0, 0)
+            )

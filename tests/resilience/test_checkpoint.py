@@ -1,0 +1,142 @@
+"""Checkpoint/resume: resumed runs reach uninterrupted verdicts.
+
+The acceptance bar: for at least one model per family (synchronous,
+mobile, shared-memory), running ``check_all`` under a budget that trips,
+then resuming from the produced checkpoint — possibly over many hops —
+must yield a verdict identical to the uninterrupted run's, witness
+included.
+"""
+
+import pytest
+
+from repro.core.checker import ConsensusChecker
+from repro.resilience.checkpoint import (
+    CampaignCheckpoint,
+    CheckAllCheckpoint,
+    CheckpointMismatch,
+    load_checkpoint,
+    save_checkpoint,
+    system_fingerprint,
+)
+
+MAX_HOPS = 500
+
+
+def _resume_to_verdict(system, per_hop_budget):
+    """Run check_all under a tiny budget, resuming until conclusive."""
+    checkpoint = None
+    for _ in range(MAX_HOPS):
+        report = ConsensusChecker(system, per_hop_budget).check_all(
+            system.model, checkpoint=checkpoint
+        )
+        if not report.inconclusive:
+            return report
+        checkpoint = report.checkpoint
+        assert isinstance(checkpoint, CheckAllCheckpoint)
+    raise AssertionError(f"no verdict after {MAX_HOPS} resume hops")
+
+
+def _assert_same_outcome(resumed, baseline):
+    assert resumed.verdict is baseline.verdict
+    assert resumed.inputs == baseline.inputs
+    if baseline.execution is None:
+        assert resumed.execution is None
+    else:
+        assert resumed.execution.actions == baseline.execution.actions
+    assert resumed.states_explored == baseline.states_explored
+
+
+class TestResumeEqualsUninterrupted:
+    def test_synchronous_family(self, st_floodset_tight):
+        baseline = ConsensusChecker(st_floodset_tight).check_all(
+            st_floodset_tight.model
+        )
+        resumed = _resume_to_verdict(st_floodset_tight, per_hop_budget=5)
+        assert baseline.satisfied
+        _assert_same_outcome(resumed, baseline)
+
+    def test_synchronous_family_refuted(self, st_floodset_fast):
+        baseline = ConsensusChecker(st_floodset_fast).check_all(
+            st_floodset_fast.model
+        )
+        resumed = _resume_to_verdict(st_floodset_fast, per_hop_budget=2)
+        assert baseline.refuted
+        _assert_same_outcome(resumed, baseline)
+
+    def test_mobile_family(self, mobile_floodset):
+        baseline = ConsensusChecker(mobile_floodset).check_all(
+            mobile_floodset.model
+        )
+        resumed = _resume_to_verdict(mobile_floodset, per_hop_budget=25)
+        _assert_same_outcome(resumed, baseline)
+
+    def test_shared_memory_family(self, quorum_synchronic_rw):
+        baseline = ConsensusChecker(quorum_synchronic_rw).check_all(
+            quorum_synchronic_rw.model
+        )
+        resumed = _resume_to_verdict(quorum_synchronic_rw, per_hop_budget=50)
+        _assert_same_outcome(resumed, baseline)
+
+
+class TestDiskRoundTrip:
+    def test_save_load_resume(self, st_floodset_tight, tmp_path):
+        report = ConsensusChecker(st_floodset_tight, max_states=5).check_all(
+            st_floodset_tight.model
+        )
+        assert report.inconclusive
+        path = tmp_path / "sweep.ckpt"
+        save_checkpoint(report.checkpoint, path)
+        loaded = load_checkpoint(path)
+        assert isinstance(loaded, CheckAllCheckpoint)
+        assert loaded.assignment_index == report.checkpoint.assignment_index
+        resumed = ConsensusChecker(st_floodset_tight).check_all(
+            st_floodset_tight.model, checkpoint=loaded
+        )
+        baseline = ConsensusChecker(st_floodset_tight).check_all(
+            st_floodset_tight.model
+        )
+        assert resumed.verdict is baseline.verdict
+        assert resumed.states_explored == baseline.states_explored
+
+    def test_not_a_checkpoint_file(self, tmp_path):
+        path = tmp_path / "garbage.ckpt"
+        import pickle
+
+        path.write_bytes(pickle.dumps({"something": "else"}))
+        with pytest.raises(CheckpointMismatch):
+            load_checkpoint(path)
+
+
+class TestFingerprintGuard:
+    def test_wrong_system_rejected(
+        self, st_floodset_tight, st_floodset_fast
+    ):
+        report = ConsensusChecker(st_floodset_tight, max_states=5).check_all(
+            st_floodset_tight.model
+        )
+        assert report.inconclusive
+        with pytest.raises(CheckpointMismatch):
+            ConsensusChecker(st_floodset_fast).check_all(
+                st_floodset_fast.model, checkpoint=report.checkpoint
+            )
+
+    def test_fingerprint_mentions_protocol(self, st_floodset_tight):
+        fp = system_fingerprint(st_floodset_tight)
+        assert "StSynchronousLayering" in fp
+        assert "FloodSet" in fp
+
+
+class TestCampaignCheckpoint:
+    def test_record_and_report_for(self):
+        campaign = CampaignCheckpoint()
+        assert campaign.report_for("unit") is None
+        campaign.suspend("unit", inner=None)
+        campaign.record("unit", report="done")
+        assert campaign.report_for("unit") == "done"
+        assert campaign.current is None and campaign.inner is None
+
+    def test_resume_point_is_keyed(self):
+        campaign = CampaignCheckpoint()
+        campaign.suspend("a", inner="partial-a")
+        assert campaign.resume_point("a") == "partial-a"
+        assert campaign.resume_point("b") is None
