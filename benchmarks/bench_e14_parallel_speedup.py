@@ -1,0 +1,104 @@
+"""E14 — parallel verification: determinism and scaling of the pool.
+
+The fault-isolated worker pool (:mod:`repro.resilience.pool`) shards a
+``check_all`` input sweep across processes.  This bench runs the heaviest
+shipped sweep — EIG at ``t+1 = 3`` rounds in the ``S^t`` system with
+``n = 4`` (16 input assignments, ~8k states) — at ``workers ∈ {1, 2, 4}``
+and records wall clock, verified states/second and speedup vs the
+sequential engine.
+
+Two properties are asserted; one is only *recorded*:
+
+* **determinism** (asserted) — every worker count yields the identical
+  verdict and state count; the merge is a pure function of the input.
+* **bounded overhead** (asserted) — process fan-out must not cost more
+  than ``OVERHEAD_FACTOR``× the sequential wall clock even with no cores
+  to gain from (the per-unit dispatch cost stays small relative to the
+  unit's work).
+* **speedup** (recorded) — actual wall-clock gain is a function of the
+  machine: on a single-core container (like the CI box this table was
+  first generated on) the workers timeslice one CPU and the speedup
+  column sits at ~1x by construction; with real cores the sweep scales
+  with the slowest shard.  The table records ``cores`` so the context is
+  in the artifact.
+"""
+
+import os
+import time
+
+import pytest
+
+from benchmarks.helpers import save_table
+from repro.analysis.reports import render_table
+from repro.analysis.sync_lower_bound import make_st_system
+from repro.core.checker import ConsensusChecker
+from repro.protocols.eig import EIG
+
+#: Parallel dispatch may cost at most this factor vs sequential wall
+#: clock (generous: it must hold even on a single-core machine where
+#: parallelism cannot pay for itself).
+OVERHEAD_FACTOR = 3.0
+
+WORKER_COUNTS = [1, 2, 4]
+
+
+def make_sweep_system():
+    """EIG(3) under S^t with n=4, t=2: 16 assignments, ~8k states."""
+    return make_st_system(EIG(3), 4, 2)
+
+
+def run_sweep(workers: int):
+    system = make_sweep_system()
+    return ConsensusChecker(system).check_all(system.model, workers=workers)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_e14_sweep_scaling(benchmark, workers):
+    report = benchmark.pedantic(run_sweep, args=(workers,), rounds=1)
+    assert report.satisfied
+
+
+def test_e14_table():
+    timings = {}
+    reports = {}
+    for workers in WORKER_COUNTS:
+        start = time.perf_counter()
+        reports[workers] = run_sweep(workers)
+        timings[workers] = time.perf_counter() - start
+
+    baseline = reports[WORKER_COUNTS[0]]
+    assert baseline.satisfied
+    for workers in WORKER_COUNTS[1:]:
+        assert reports[workers].verdict is baseline.verdict
+        assert (
+            reports[workers].states_explored == baseline.states_explored
+        )
+
+    rows = []
+    for workers in WORKER_COUNTS:
+        seconds = timings[workers]
+        rows.append(
+            [
+                workers,
+                reports[workers].states_explored,
+                f"{seconds:.2f}",
+                f"{reports[workers].states_explored / seconds:,.0f}",
+                f"{timings[WORKER_COUNTS[0]] / seconds:.2f}x",
+            ]
+        )
+    cores = len(os.sched_getaffinity(0))
+    save_table(
+        "e14_parallel_speedup",
+        "E14: parallel check_all scaling (EIG(3), S^t, n=4, t=2; "
+        f"{cores} core(s) available; identical verdicts asserted)",
+        render_table(
+            ["workers", "states", "seconds", "states/sec", "speedup"],
+            rows,
+        ),
+    )
+    slowest = max(timings[w] for w in WORKER_COUNTS[1:])
+    assert slowest < timings[WORKER_COUNTS[0]] * OVERHEAD_FACTOR, (
+        f"parallel dispatch cost {slowest:.2f}s vs sequential "
+        f"{timings[WORKER_COUNTS[0]]:.2f}s exceeds the "
+        f"{OVERHEAD_FACTOR}x overhead bound"
+    )

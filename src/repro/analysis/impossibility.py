@@ -26,7 +26,13 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.core.bivalence import build_bivalent_lasso
-from repro.core.checker import ConsensusChecker, ConsensusReport, Verdict
+from repro.core.checker import (
+    ConsensusChecker,
+    ConsensusReport,
+    SweepUnit,
+    Verdict,
+    run_campaign,
+)
 from repro.core.connectivity import lemma_3_6
 from repro.core.run import RunWitness
 from repro.core.valence import ValenceAnalyzer
@@ -40,6 +46,7 @@ from repro.models.shared_memory import SharedMemoryModel
 from repro.protocols.base import DualProtocol, MessagePassingProtocol
 from repro.resilience.budget import Budget, DEFAULT_MAX_STATES
 from repro.resilience.checkpoint import CampaignCheckpoint
+from repro.resilience.pool import PoolConfig
 
 
 def standard_layerings(protocol, n: int) -> dict[str, object]:
@@ -113,6 +120,9 @@ def refute_candidate(
     n: int,
     max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
     campaign: Optional[CampaignCheckpoint] = None,
+    workers: Optional[int] = None,
+    pool: Optional[PoolConfig] = None,
+    on_unit=None,
 ) -> list[Refutation]:
     """Run one candidate through every applicable layered model.
 
@@ -120,35 +130,28 @@ def refute_candidate(
     ``max_states`` accepts a state count or a full
     :class:`~repro.resilience.Budget`; a *campaign* checkpoint makes the
     sweep resumable model-by-model, stopping at the first model whose
-    budget trips.
+    budget trips.  With ``workers > 1`` the per-model sweeps run on the
+    fault-isolated worker pool and merge deterministically — results are
+    identical to the sequential run, and a crashing model sweep is
+    quarantined as UNKNOWN instead of killing the campaign (see
+    :func:`repro.core.checker.run_campaign`).
     """
     budget = Budget.of(max_states)
-    out = []
-    for name, layering in standard_layerings(protocol, n).items():
-        key = f"refute:{name}:{protocol.name()}:n{n}"
-        resume = None
-        if campaign is not None:
-            done = campaign.report_for(key)
-            if done is not None:
-                out.append(Refutation(name, protocol.name(), done))
-                continue
-            resume = campaign.resume_point(key)
-        checker = ConsensusChecker(layering, budget)
-        report = checker.check_all(layering.model, checkpoint=resume)
-        if campaign is not None:
-            if report.inconclusive:
-                campaign.suspend(key, report.checkpoint)
-            else:
-                campaign.record(key, report)
-        refutation = Refutation(
-            model_name=name,
-            protocol_name=protocol.name(),
-            report=report,
+    layerings = standard_layerings(protocol, n)
+    units = [
+        (
+            f"refute:{name}:{protocol.name()}:n{n}",
+            SweepUnit(system=layering, model=layering.model, budget=budget),
         )
-        out.append(refutation)
-        if refutation.inconclusive:
-            return out
-    return out
+        for name, layering in layerings.items()
+    ]
+    results = run_campaign(
+        units, campaign=campaign, workers=workers, pool=pool, on_unit=on_unit
+    )
+    return [
+        Refutation(model_name=name, protocol_name=protocol.name(), report=report)
+        for name, (_, report) in zip(layerings, results)
+    ]
 
 
 def forever_bivalent_run(

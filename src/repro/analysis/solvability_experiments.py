@@ -29,6 +29,7 @@ from repro.protocols.tasks import (
     KSetAgreementProtocol,
 )
 from repro.resilience.budget import Budget, DEFAULT_MAX_STATES
+from repro.resilience.pool import PoolConfig, run_units
 from repro.tasks.catalog import CATALOG, EXPECTED_SOLVABLE
 from repro.tasks.covering import Covering, OutcomeAnalyzer
 from repro.tasks.diameter import check_lemma_7_6, theorem_7_7_series
@@ -55,14 +56,23 @@ CANDIDATES = {
 
 @dataclass(frozen=True)
 class MatrixEntry:
-    """One task's complete E7 record."""
+    """One task's complete E7 record.
 
-    row: SolvabilityRow
+    ``error`` is set (and ``row`` is None) when the task's verification
+    unit was quarantined by the parallel executor — the entry then counts
+    as not matching expectations, with the fault cause preserved, instead
+    of the whole matrix aborting.
+    """
+
+    row: Optional[SolvabilityRow]
     expected_solvable: bool
     defeats: Optional[dict]  # model -> TaskReport for unsolvable tasks
+    error: Optional[str] = None
 
     @property
     def matches_expectation(self) -> bool:
+        if self.error is not None or self.row is None:
+            return False
         if self.row.thick_connected != self.expected_solvable:
             return False
         solved = self.row.operationally_solved
@@ -75,36 +85,79 @@ class MatrixEntry:
         return True
 
 
+def _matrix_unit(payload: tuple) -> MatrixEntry:
+    """Pool unit: one task's full E7 entry (runs in a worker process).
+
+    The payload carries only the task *name* plus scalar knobs — the
+    problem, solver and candidate are rebuilt from the module-level
+    catalogs inside the worker, so nothing unpicklable (the catalog
+    lambdas) ever crosses the process boundary.
+    """
+    name, n, max_input_set_size, budget = payload
+    problem = CATALOG[name](n)
+    solver_factory = SOLVERS.get(name)
+    solver = solver_factory() if solver_factory else None
+    row = corollary_7_3_row(
+        problem,
+        solver,
+        max_input_set_size=max_input_set_size,
+        max_states=budget,
+    )
+    defeats = None
+    candidate_factory = CANDIDATES.get(name)
+    if candidate_factory is not None:
+        defeats = defeat_in_every_model(problem, candidate_factory(n), budget)
+    return MatrixEntry(
+        row=row,
+        expected_solvable=EXPECTED_SOLVABLE[name],
+        defeats=defeats,
+    )
+
+
 def solvability_matrix(
     n: int = 3,
     tasks: Optional[list[str]] = None,
     max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
     max_input_set_size: Optional[int] = 3,
+    workers: Optional[int] = None,
+    pool: Optional[PoolConfig] = None,
 ) -> dict[str, MatrixEntry]:
-    """Experiment E7: the task × model solvability matrix."""
-    entries: dict[str, MatrixEntry] = {}
-    for name in tasks or sorted(CATALOG):
-        problem = CATALOG[name](n)
-        solver_factory = SOLVERS.get(name)
-        solver = solver_factory() if solver_factory else None
-        row = corollary_7_3_row(
-            problem,
-            solver,
-            max_input_set_size=max_input_set_size,
-            max_states=max_states,
-        )
-        defeats = None
-        candidate_factory = CANDIDATES.get(name)
-        if candidate_factory is not None:
-            defeats = defeat_in_every_model(
-                problem, candidate_factory(n), max_states
-            )
-        entries[name] = MatrixEntry(
-            row=row,
-            expected_solvable=EXPECTED_SOLVABLE[name],
-            defeats=defeats,
-        )
-    return entries
+    """Experiment E7: the task × model solvability matrix.
+
+    With ``workers > 1`` each task's entry is computed in its own worker
+    process and merged back in task order — entries are identical to the
+    sequential run's; a task whose worker crashes repeatedly appears as
+    a quarantined entry (``error`` set, counted as not matching) rather
+    than aborting the matrix.
+    """
+    import dataclasses
+
+    budget = Budget.of(max_states)
+    names = list(tasks or sorted(CATALOG))
+    units = [
+        (name, (name, n, max_input_set_size, budget)) for name in names
+    ]
+    if workers is not None and workers > 1 and len(units) > 1:
+        config = pool or PoolConfig()
+        if config.workers != workers:
+            config = dataclasses.replace(config, workers=workers)
+        outcomes = run_units(_matrix_unit, units, config).outcomes
+        entries: dict[str, MatrixEntry] = {}
+        for name in names:
+            outcome = outcomes[name]
+            if outcome.quarantined:
+                entries[name] = MatrixEntry(
+                    row=None,
+                    expected_solvable=EXPECTED_SOLVABLE[name],
+                    defeats=None,
+                    error=outcome.cause(),
+                )
+            else:
+                entries[name] = outcome.value
+        return entries
+    return {
+        name: _matrix_unit(payload) for name, payload in units
+    }
 
 
 def lemma_7_1_run(

@@ -27,7 +27,12 @@ from typing import Optional, Union
 
 from repro.analysis.lemmas import LemmaReport
 from repro.core.bivalence import bivalent_successor
-from repro.core.checker import ConsensusChecker, ConsensusReport
+from repro.core.checker import (
+    ConsensusChecker,
+    ConsensusReport,
+    SweepUnit,
+    run_campaign,
+)
 from repro.core.connectivity import lemma_3_6
 from repro.core.run import Execution
 from repro.core.state import GlobalState
@@ -39,6 +44,7 @@ from repro.protocols.eig import EIG
 from repro.protocols.floodset import FloodSet
 from repro.resilience.budget import Budget, DEFAULT_MAX_STATES
 from repro.resilience.checkpoint import CampaignCheckpoint
+from repro.resilience.pool import PoolConfig
 
 
 def make_st_system(
@@ -74,35 +80,27 @@ class LowerBoundRow:
         return self.report.inconclusive
 
 
-def _checked_row(
-    label: str,
-    key: str,
-    system,
-    model,
-    n: int,
-    t: int,
-    rounds: int,
-    budget: Budget,
+def _campaign_rows(
+    specs: list[tuple],
     campaign: Optional[CampaignCheckpoint],
-) -> LowerBoundRow:
-    """One campaign unit: reuse a completed report, resume a suspended
-    sweep, or run ``check_all`` fresh; record the outcome either way."""
-    if campaign is not None:
-        done = campaign.report_for(key)
-        if done is not None:
-            return LowerBoundRow(label, n, t, rounds, done)
-        resume = campaign.resume_point(key)
-    else:
-        resume = None
-    report = ConsensusChecker(system, budget).check_all(
-        model, checkpoint=resume
+    workers: Optional[int],
+    pool: Optional[PoolConfig],
+    on_unit,
+) -> list[LowerBoundRow]:
+    """Run ``(label, key, unit, n, t, rounds)`` specs through the shared
+    campaign engine and rebuild the table rows, truncated (like the
+    sequential loop always was) at the first inconclusive unit."""
+    results = run_campaign(
+        [(key, unit) for _, key, unit, *_ in specs],
+        campaign=campaign,
+        workers=workers,
+        pool=pool,
+        on_unit=on_unit,
     )
-    if campaign is not None:
-        if report.inconclusive:
-            campaign.suspend(key, report.checkpoint)
-        else:
-            campaign.record(key, report)
-    return LowerBoundRow(label, n, t, rounds, report)
+    return [
+        LowerBoundRow(label, n, t, rounds, report)
+        for (label, _, _, n, t, rounds), (_, report) in zip(specs, results)
+    ]
 
 
 def defeat_fast_candidates(
@@ -110,6 +108,9 @@ def defeat_fast_candidates(
     t: int,
     max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
     campaign: Optional[CampaignCheckpoint] = None,
+    workers: Optional[int] = None,
+    pool: Optional[PoolConfig] = None,
+    on_unit=None,
 ) -> list[LowerBoundRow]:
     """Defeat every shipped candidate deciding within ``t`` rounds.
 
@@ -121,27 +122,26 @@ def defeat_fast_candidates(
     :class:`~repro.resilience.Budget`; a *campaign* checkpoint makes the
     sweep resumable unit-by-unit, stopping at the first unit whose budget
     trips (continuing under an exhausted wall clock would be futile).
+    ``workers > 1`` runs the units on the fault-isolated pool with a
+    deterministic merge — identical rows, crashes quarantined (see
+    :func:`repro.core.checker.run_campaign`).
     """
     budget = Budget.of(max_states)
-    rows = []
+    specs = []
     for rounds in range(1, t + 1):
         for protocol in (FloodSet(rounds), EIG(rounds)):
             layering = make_st_system(protocol, n, t)
-            row = _checked_row(
-                protocol.name(),
-                f"defeat:{protocol.name()}:n{n}:t{t}",
-                layering,
-                layering.model,
-                n,
-                t,
-                rounds,
-                budget,
-                campaign,
+            specs.append(
+                (
+                    protocol.name(),
+                    f"defeat:{protocol.name()}:n{n}:t{t}",
+                    SweepUnit(layering, layering.model, budget),
+                    n,
+                    t,
+                    rounds,
+                )
             )
-            rows.append(row)
-            if row.inconclusive:
-                return rows
-    return rows
+    return _campaign_rows(specs, campaign, workers, pool, on_unit)
 
 
 def verify_tight_protocols(
@@ -151,51 +151,46 @@ def verify_tight_protocols(
     include_full_model: bool = True,
     clean_crashes_only: bool = False,
     campaign: Optional[CampaignCheckpoint] = None,
+    workers: Optional[int] = None,
+    pool: Optional[PoolConfig] = None,
+    on_unit=None,
 ) -> list[LowerBoundRow]:
     """Verify FloodSet/EIG at ``t+1`` rounds — the bound is tight.
 
     Checked over the ``S^t`` submodel and (optionally) over the full
     synchronous model, whose failure patterns include multiple new
-    failures per round with arbitrary blocked subsets.  Budget and
-    campaign semantics as in :func:`defeat_fast_candidates`.
+    failures per round with arbitrary blocked subsets.  Budget, campaign
+    and worker semantics as in :func:`defeat_fast_candidates`.
     """
     budget = Budget.of(max_states)
-    rows = []
+    specs = []
     for protocol in (FloodSet(t + 1), EIG(t + 1)):
         layering = make_st_system(protocol, n, t)
-        row = _checked_row(
-            f"{protocol.name()} [S^t]",
-            f"tight:st:{protocol.name()}:n{n}:t{t}",
-            layering,
-            layering.model,
-            n,
-            t,
-            t + 1,
-            budget,
-            campaign,
+        specs.append(
+            (
+                f"{protocol.name()} [S^t]",
+                f"tight:st:{protocol.name()}:n{n}:t{t}",
+                SweepUnit(layering, layering.model, budget),
+                n,
+                t,
+                t + 1,
+            )
         )
-        rows.append(row)
-        if row.inconclusive:
-            return rows
         if include_full_model:
             model = SynchronousModel(
                 protocol, n, t, clean_crashes_only=clean_crashes_only
             )
-            row = _checked_row(
-                f"{protocol.name()} [full sync]",
-                f"tight:full:{protocol.name()}:n{n}:t{t}",
-                model,
-                model,
-                n,
-                t,
-                t + 1,
-                budget,
-                campaign,
+            specs.append(
+                (
+                    f"{protocol.name()} [full sync]",
+                    f"tight:full:{protocol.name()}:n{n}:t{t}",
+                    SweepUnit(model, model, budget),
+                    n,
+                    t,
+                    t + 1,
+                )
             )
-            rows.append(row)
-            if row.inconclusive:
-                return rows
-    return rows
+    return _campaign_rows(specs, campaign, workers, pool, on_unit)
 
 
 def lemma_6_1(

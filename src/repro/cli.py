@@ -27,6 +27,17 @@ Resource limits and resumability (the resilience layer):
   the other subcommands accept the flags but run strict analyses whose
   partial results are not checkpointable.
 * Ctrl-C exits with code 130, after writing the checkpoint if requested.
+
+Parallel execution (``lower-bound``, ``impossibility``, ``solvability``):
+
+* ``--workers N`` shards the campaign units across ``N`` fault-isolated
+  worker processes with a deterministic merge — tables are identical to
+  the sequential run; a unit whose worker crashes repeatedly is reported
+  inconclusive (quarantined) instead of aborting the sweep.
+* ``--unit-timeout SECONDS`` kills and retries a unit that hangs;
+  ``--max-retries K`` bounds the retries before quarantine.
+* With ``--checkpoint``, completed units are saved as workers finish,
+  so an interruption loses at most the in-flight units.
 """
 
 from __future__ import annotations
@@ -43,6 +54,7 @@ from repro.resilience.checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
+from repro.resilience.pool import pool_config_for
 
 #: Exit codes: 0 expected outcome, 1 unexpected (a theorem-contradicting
 #: verdict), 2 inconclusive (budget exhausted before a verdict) or usage
@@ -66,6 +78,26 @@ def _save_campaign(args: argparse.Namespace) -> None:
             print(f"cannot write checkpoint: {exc}", file=sys.stderr)
             return
         print(f"checkpoint written to {args.checkpoint}", file=sys.stderr)
+
+
+def _autosave(args: argparse.Namespace):
+    """The per-unit campaign autosave callback (or None).
+
+    Fired by the campaign engine as each unit resolves — with parallel
+    workers, as they *finish*, so a crash of the driver itself loses at
+    most the units still in flight.  Save failures stay silent here; the
+    final :func:`_save_campaign` reports them once.
+    """
+    if not (args.checkpoint and args.campaign is not None):
+        return None
+
+    def save(_key, _report) -> None:
+        try:
+            save_checkpoint(args.campaign, args.checkpoint)
+        except OSError:
+            pass
+
+    return save
 
 
 def _finish_inconclusive(args: argparse.Namespace, report) -> int:
@@ -95,7 +127,13 @@ def _cmd_lower_bound(args: argparse.Namespace) -> int:
 
     print(f"== Corollary 6.3: the t+1 crossover (n={args.n}, t={args.t}) ==\n")
     defeated = defeat_fast_candidates(
-        args.n, args.t, args.budget, campaign=args.campaign
+        args.n,
+        args.t,
+        args.budget,
+        campaign=args.campaign,
+        workers=args.workers,
+        pool=args.pool,
+        on_unit=_autosave(args),
     )
     verified = []
     if not any(r.inconclusive for r in defeated):
@@ -105,6 +143,9 @@ def _cmd_lower_bound(args: argparse.Namespace) -> int:
             args.budget,
             include_full_model=args.full_model,
             campaign=args.campaign,
+            workers=args.workers,
+            pool=args.pool,
+            on_unit=_autosave(args),
         )
     rows = defeated + verified
     print(render_verdict_rows(rows))
@@ -148,7 +189,13 @@ def _cmd_impossibility(args: argparse.Namespace) -> int:
         f"== Theorem 4.2 on {protocol.name()} (n={args.n}) ==\n"
     )
     refutations = refute_candidate(
-        protocol, args.n, args.budget, campaign=args.campaign
+        protocol,
+        args.n,
+        args.budget,
+        campaign=args.campaign,
+        workers=args.workers,
+        pool=args.pool,
+        on_unit=_autosave(args),
     )
     if args.model != "all":
         refutations = [
@@ -192,12 +239,22 @@ def _cmd_solvability(args: argparse.Namespace) -> int:
     tasks = args.tasks.split(",") if args.tasks else None
     print(f"== Corollary 7.3: solvability matrix (n={args.n}) ==\n")
     matrix = solvability_matrix(
-        n=args.n, tasks=tasks, max_states=args.budget
+        n=args.n,
+        tasks=tasks,
+        max_states=args.budget,
+        workers=args.workers,
+        pool=args.pool,
     )
     rows = []
     ok = True
     for name, entry in matrix.items():
         ok = ok and entry.matches_expectation
+        if entry.row is None:
+            rows.append(
+                [name, f"error: {entry.error}", EXPECTED_SOLVABLE[name],
+                 None, False]
+            )
+            continue
         rows.append(
             [
                 name,
@@ -320,6 +377,28 @@ def _add_budget_flags(parser, suppress: bool = False) -> None:
         metavar="PATH",
         help="resume a campaign previously saved with --checkpoint",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=default(None),
+        metavar="N",
+        help="run campaign units on N fault-isolated worker processes "
+        "(deterministic merge; crashes quarantined, not fatal)",
+    )
+    parser.add_argument(
+        "--unit-timeout",
+        type=float,
+        default=default(None),
+        metavar="SECONDS",
+        help="kill and retry a parallel unit running longer than this",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=default(None),
+        metavar="K",
+        help="retries before a crashing parallel unit is quarantined",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -376,6 +455,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     args.budget = Budget(
         max_states=args.max_states, max_seconds=args.timeout
+    )
+    args.pool = pool_config_for(
+        args.workers, args.unit_timeout, args.max_retries
     )
     args.campaign = None
     if args.resume:

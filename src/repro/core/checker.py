@@ -63,6 +63,11 @@ from repro.resilience.checkpoint import (
     ExplorationCheckpoint,
     system_fingerprint,
 )
+from repro.resilience.pool import (
+    PoolConfig,
+    UnitOutcome,
+    run_units,
+)
 
 
 class Verdict(Enum):
@@ -198,6 +203,8 @@ class ConsensusChecker:
         model,
         value_domain: Sequence[Hashable] = (0, 1),
         checkpoint: Optional[CheckAllCheckpoint] = None,
+        workers: Optional[int] = None,
+        pool: Optional[PoolConfig] = None,
     ) -> ConsensusReport:
         """Check every input assignment; return the first violation found,
         or an aggregate SATISFIED report.
@@ -206,6 +213,21 @@ class ConsensusChecker:
         :class:`~repro.resilience.CheckAllCheckpoint` recording the
         deterministic assignment cursor plus the in-flight assignment's
         exploration snapshot; pass it back to resume.
+
+        With ``workers > 1`` the input assignments are sharded across a
+        fault-isolated worker pool (:mod:`repro.resilience.pool`): each
+        assignment's BFS runs in its own process against its own budget
+        meter — exactly the per-assignment metering of the sequential
+        path — and the per-assignment reports are merged **in assignment
+        order**, so the returned report (verdict, witness, statistics,
+        checkpoint) is identical to the sequential run's.  An assignment
+        whose worker crashes repeatedly is *quarantined*: the sweep
+        reports ``UNKNOWN`` at that assignment's cursor with the crash
+        cause in the detail (resumable from that index), instead of the
+        whole sweep dying with the worker.  Wall-clock-limited budgets
+        are the one intentional semantic difference: the deadline is
+        shared, so under time pressure a parallel run covers more
+        assignments before tripping.
         """
         from itertools import product
 
@@ -219,6 +241,11 @@ class ConsensusChecker:
             start = checkpoint.assignment_index
             total = checkpoint.states_total
             inner = checkpoint.inner
+        if workers is not None and workers > 1 and len(assignments) - start > 1:
+            return self._check_all_parallel(
+                model, domain, assignments, start, total, inner,
+                workers, pool,
+            )
         for index in range(start, len(assignments)):
             assignment = assignments[index]
             report = self._check_one(
@@ -228,14 +255,54 @@ class ConsensusChecker:
                 inner,
             )
             inner = None
-            if report.inconclusive:
+            outcome = self._merge_assignment(
+                report, index, assignment, assignments, domain, model, total
+            )
+            if outcome is not None:
+                return outcome
+            total += report.states_explored
+        return self._satisfied_sweep(domain, model, total)
+
+    def _check_all_parallel(
+        self,
+        model,
+        domain: tuple,
+        assignments: list,
+        start: int,
+        total: int,
+        inner: Optional[ExplorationCheckpoint],
+        workers: int,
+        pool: Optional[PoolConfig],
+    ) -> ConsensusReport:
+        """The worker-pool arm of :meth:`check_all` (deterministic merge)."""
+        import dataclasses
+
+        units = []
+        for index in range(start, len(assignments)):
+            payload = _AssignmentPayload(
+                system=self._system,
+                model=model,
+                budget=self._budget,
+                strict=self._strict,
+                assignment=assignments[index],
+                inner=inner if index == start else None,
+            )
+            units.append((index, payload))
+        config = pool or PoolConfig()
+        if config.workers != workers:
+            config = dataclasses.replace(config, workers=workers)
+        outcomes = run_units(_check_assignment_unit, units, config).outcomes
+        for index in range(start, len(assignments)):
+            assignment = assignments[index]
+            unit = outcomes[index]
+            if unit.quarantined:
                 sweep = CheckAllCheckpoint(
                     fingerprint=system_fingerprint(self._system),
                     n=model.n,
                     value_domain=domain,
                     assignment_index=index,
                     states_total=total,
-                    inner=report.checkpoint,
+                    inner=None,
                 )
                 return ConsensusReport(
                     verdict=Verdict.UNKNOWN,
@@ -243,17 +310,63 @@ class ConsensusChecker:
                     execution=None,
                     cycle=None,
                     detail=(
-                        f"budget exhausted on assignment {index + 1} of "
-                        f"{len(assignments)} ({assignment!r}): "
-                        f"{report.detail}"
+                        f"assignment {index + 1} of {len(assignments)} "
+                        f"({assignment!r}) quarantined: {unit.cause()} "
+                        "(resume from the checkpoint to re-run it)"
                     ),
-                    states_explored=total + report.states_explored,
-                    budget_stats=report.budget_stats,
+                    states_explored=total,
+                    budget_stats=None,
                     checkpoint=sweep,
                 )
+            report = unit.value
+            outcome = self._merge_assignment(
+                report, index, assignment, assignments, domain, model, total
+            )
+            if outcome is not None:
+                return outcome
             total += report.states_explored
-            if not report.satisfied:
-                return report
+        return self._satisfied_sweep(domain, model, total)
+
+    def _merge_assignment(
+        self,
+        report: ConsensusReport,
+        index: int,
+        assignment: tuple,
+        assignments: list,
+        domain: tuple,
+        model,
+        total: int,
+    ) -> Optional[ConsensusReport]:
+        """Fold one assignment's report into the sweep: the final report
+        when the sweep stops here (violation or UNKNOWN), else None."""
+        if report.inconclusive:
+            sweep = CheckAllCheckpoint(
+                fingerprint=system_fingerprint(self._system),
+                n=model.n,
+                value_domain=domain,
+                assignment_index=index,
+                states_total=total,
+                inner=report.checkpoint,
+            )
+            return ConsensusReport(
+                verdict=Verdict.UNKNOWN,
+                inputs=assignment,
+                execution=None,
+                cycle=None,
+                detail=(
+                    f"budget exhausted on assignment {index + 1} of "
+                    f"{len(assignments)} ({assignment!r}): "
+                    f"{report.detail}"
+                ),
+                states_explored=total + report.states_explored,
+                budget_stats=report.budget_stats,
+                checkpoint=sweep,
+            )
+        if not report.satisfied:
+            return report
+        return None
+
+    def _satisfied_sweep(self, domain: tuple, model, total: int) -> ConsensusReport:
         return ConsensusReport(
             verdict=Verdict.SATISFIED,
             inputs=None,
@@ -588,6 +701,173 @@ class ConsensusChecker:
                     return _path_to(child, parent)
                 queue.append(child)
         return None
+
+
+# -- parallel work units ------------------------------------------------------
+#
+# The pool pickles payloads into worker processes and calls a module-level
+# function on them; these are the two unit shapes the library ships —
+# one assignment of one sweep (check_all's internal sharding) and one
+# whole check_all over one layered system (the campaign drivers' unit).
+
+@dataclass(frozen=True)
+class _AssignmentPayload:
+    """One input assignment of a ``check_all`` sweep, picklable."""
+
+    system: object
+    model: object
+    budget: Budget
+    strict: bool
+    assignment: tuple
+    inner: Optional[ExplorationCheckpoint]
+
+
+def _check_assignment_unit(payload: _AssignmentPayload) -> ConsensusReport:
+    """Pool unit: BFS one input assignment (runs in a worker process)."""
+    checker = ConsensusChecker(
+        payload.system, payload.budget, strict=payload.strict
+    )
+    return checker._check_one(
+        payload.model.initial_state(payload.assignment),
+        payload.assignment,
+        checker._budget.meter(),
+        payload.inner,
+    )
+
+
+@dataclass(frozen=True)
+class SweepUnit:
+    """One campaign unit: a full ``check_all`` over one layered system.
+
+    Picklable payload for :func:`run_sweep_unit`; *system* and *model*
+    are usually ``layering`` and ``layering.model`` but may coincide
+    (the full synchronous model checks itself).  *resume* carries the
+    in-flight :class:`~repro.resilience.CheckAllCheckpoint` when a
+    campaign is resumed.
+    """
+
+    system: object
+    model: object
+    budget: Budget
+    resume: Optional[CheckAllCheckpoint] = None
+
+
+def run_sweep_unit(unit: SweepUnit) -> ConsensusReport:
+    """Pool unit function for campaign drivers: one exhaustive sweep."""
+    return ConsensusChecker(unit.system, unit.budget).check_all(
+        unit.model, checkpoint=unit.resume
+    )
+
+
+def run_campaign(
+    units: Sequence[tuple],
+    campaign=None,
+    workers: Optional[int] = None,
+    pool: Optional[PoolConfig] = None,
+    on_unit=None,
+) -> list[tuple]:
+    """Run ``(key, SweepUnit)`` campaign units with shared resilience
+    semantics; the engine behind the analysis drivers' ``workers=N``.
+
+    Sequentially (``workers`` None or <= 1) units run one at a time in
+    submission order, stopping after the first inconclusive report —
+    continuing a sweep whose budget already tripped would be futile.
+    With ``workers > 1`` the pending units run on the fault-isolated
+    pool (:mod:`repro.resilience.pool`) and the reports are merged back
+    **in submission order** with the same early-stop rule, so both paths
+    return identical results for identical inputs; a unit the pool
+    quarantined merges as :func:`quarantined_report` (UNKNOWN with the
+    fault cause) without failing its neighbours.
+
+    A :class:`~repro.resilience.CampaignCheckpoint` is honoured and
+    maintained either way: completed units are reused instantly,
+    conclusive reports are recorded **as workers finish** (an interrupt
+    loses at most in-flight units), and the first inconclusive unit's
+    partial progress is suspended for resume.  *on_unit*, when given, is
+    called as ``on_unit(key, report)`` after each freshly-run unit's
+    campaign update — the CLI hooks its incremental checkpoint autosave
+    here.
+
+    Returns ``(key, report)`` pairs in submission order, truncated at
+    the first inconclusive report.
+    """
+    import dataclasses
+
+    cached: dict = {}
+    pending: list[tuple] = []
+    for key, unit in units:
+        done = campaign.report_for(key) if campaign is not None else None
+        if done is not None:
+            cached[key] = done
+            continue
+        resume = campaign.resume_point(key) if campaign is not None else None
+        if resume is not None:
+            unit = dataclasses.replace(unit, resume=resume)
+        pending.append((key, unit))
+
+    reports: Optional[dict] = None
+    if workers is not None and workers > 1 and len(pending) > 1:
+        config = pool or PoolConfig()
+        if config.workers != workers:
+            config = dataclasses.replace(config, workers=workers)
+
+        def record_finished(outcome: UnitOutcome) -> None:
+            if outcome.ok and not outcome.value.inconclusive:
+                if campaign is not None:
+                    campaign.record(outcome.key, outcome.value)
+                if on_unit is not None:
+                    on_unit(outcome.key, outcome.value)
+
+        outcomes = run_units(
+            run_sweep_unit, pending, config, on_complete=record_finished
+        ).outcomes
+        reports = {
+            key: quarantined_report(o) if o.quarantined else o.value
+            for key, o in outcomes.items()
+        }
+
+    pending_map = dict(pending)
+    out: list[tuple] = []
+    for key, _ in units:
+        if key in cached:
+            report = cached[key]
+        elif reports is not None:
+            report = reports[key]
+            if report.inconclusive and campaign is not None:
+                if report.checkpoint is not None:
+                    campaign.suspend(key, report.checkpoint)
+        else:
+            report = run_sweep_unit(pending_map[key])
+            if campaign is not None:
+                if report.inconclusive:
+                    campaign.suspend(key, report.checkpoint)
+                else:
+                    campaign.record(key, report)
+            if on_unit is not None:
+                on_unit(key, report)
+        out.append((key, report))
+        if report.inconclusive:
+            return out
+    return out
+
+
+def quarantined_report(outcome: UnitOutcome) -> ConsensusReport:
+    """An ``UNKNOWN`` report for a campaign unit the pool quarantined.
+
+    Quarantine must not abort the sweep, and it must not masquerade as a
+    verdict either: the unit is reported inconclusive with the fault
+    history as the cause.  The report carries no checkpoint — the unit
+    made no resumable progress — so resuming a campaign simply re-runs
+    it from scratch.
+    """
+    return ConsensusReport(
+        verdict=Verdict.UNKNOWN,
+        inputs=None,
+        execution=None,
+        cycle=None,
+        detail=f"unit {outcome.key!r} quarantined: {outcome.cause()}",
+        states_explored=0,
+    )
 
 
 def _path_to(state: GlobalState, parent: dict) -> Execution:

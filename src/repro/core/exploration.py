@@ -28,6 +28,7 @@ from typing import Optional, Union
 from repro.core.state import GlobalState
 from repro.core.valence import ExplorationLimitExceeded
 from repro.resilience.budget import Budget, DEFAULT_MAX_STATES
+from repro.resilience.pool import PoolConfig, run_units
 
 
 @dataclass
@@ -61,6 +62,77 @@ class ExplorationStats:
         return self.states / self.seconds
 
 
+def _reachable_shard(payload) -> dict:
+    """Pool unit: BFS one shard of the root frontier (worker process)."""
+    system, roots, max_depth, budget, strict = payload
+    return reachable_states(
+        system, roots, max_depth=max_depth, max_states=budget, strict=strict
+    )
+
+
+def reachable_states_parallel(
+    system,
+    roots: Iterable[GlobalState],
+    max_depth: int | None = None,
+    max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
+    strict: bool = True,
+    workers: int = 2,
+    pool: Optional[PoolConfig] = None,
+) -> dict[GlobalState, int]:
+    """Frontier-partitioned :func:`reachable_states` over a worker pool.
+
+    The root frontier is split round-robin into ``workers`` shards, each
+    shard BFSes independently in its own process, and the per-shard
+    ``{state: depth}`` maps merge by **minimum depth** — multi-root BFS
+    depth is the minimum distance from any root, so the merged map is
+    *identical* to the sequential result (states reachable from several
+    shards are explored redundantly; the merge removes the duplicates).
+    The budget is :meth:`~repro.resilience.Budget.split` across shards so
+    the shards together charge at most the configured limits; a shard
+    whose budget trips raises (strict) or truncates (non-strict) exactly
+    like the sequential engine, and a shard whose worker crashes twice
+    raises ``RuntimeError`` naming the quarantined shard.
+    """
+    import dataclasses
+
+    root_list = list(dict.fromkeys(roots))
+    if workers <= 1 or len(root_list) < 2:
+        return reachable_states(
+            system, root_list, max_depth=max_depth,
+            max_states=max_states, strict=strict,
+        )
+    budget = Budget.of(max_states)
+    shards: list[list[GlobalState]] = [[] for _ in range(min(workers, len(root_list)))]
+    for index, root in enumerate(root_list):
+        shards[index % len(shards)].append(root)
+    shard_budget = budget.split(len(shards))
+    units = [
+        (index, (system, shard, max_depth, shard_budget, strict))
+        for index, shard in enumerate(shards)
+    ]
+    config = pool or PoolConfig()
+    if config.workers != workers:
+        config = dataclasses.replace(config, workers=workers)
+    report = run_units(_reachable_shard, units, config)
+    merged: dict[GlobalState, int] = {}
+    for index in range(len(shards)):
+        outcome = report.outcomes[index]
+        if outcome.quarantined:
+            cause = outcome.cause()
+            if "ExplorationLimitExceeded" in cause and strict:
+                raise ExplorationLimitExceeded(
+                    f"exploration shard {index} exhausted its budget: {cause}"
+                )
+            raise RuntimeError(
+                f"exploration shard {index} quarantined: {cause}"
+            )
+        for state, depth in outcome.value.items():
+            known = merged.get(state)
+            if known is None or depth < known:
+                merged[state] = depth
+    return merged
+
+
 def reachable_states(
     system,
     roots: Iterable[GlobalState],
@@ -72,7 +144,9 @@ def reachable_states(
 
     With ``strict=False`` a budget exhaustion returns the partial mapping
     discovered so far instead of raising — callers who opt in must treat
-    the result as a lower bound on reachability.
+    the result as a lower bound on reachability.  For a worker-pool
+    variant sharded over the root frontier see
+    :func:`reachable_states_parallel`.
     """
     meter = Budget.of(max_states).meter()
     depth: dict[GlobalState, int] = {}

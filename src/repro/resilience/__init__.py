@@ -13,6 +13,12 @@ provides on top of the core engines:
   *sound*: a violation found before the budget tripped is still returned
   as a definitive refutation — a budget can only ever turn ``SATISFIED``
   into ``UNKNOWN``, never a violation into ``SATISFIED``.
+* **Crash-tolerant parallelism** — :mod:`repro.resilience.pool` shards
+  verification units across worker processes that are allowed to die:
+  heartbeats detect hangs, crashed units retry with backoff, units that
+  crash repeatedly are *quarantined* (reported UNKNOWN with the fault
+  cause) instead of aborting the sweep, and results merge back
+  deterministically so parallel output equals sequential output.
 * **A validated validator** — :mod:`repro.resilience.mutation` injects
   known fault classes (decision flips, early decisions, decision
   overwrites, dropped relays, decision starvation) into shipped
@@ -28,15 +34,25 @@ from repro.resilience.budget import (
     Budget,
     BudgetMeter,
     BudgetStats,
+    merge_stats,
 )
 from repro.resilience.checkpoint import (
     CampaignCheckpoint,
     CheckAllCheckpoint,
+    CheckpointCorrupt,
     CheckpointMismatch,
     ExplorationCheckpoint,
     load_checkpoint,
     save_checkpoint,
     system_fingerprint,
+)
+from repro.resilience.pool import (
+    PoolConfig,
+    PoolFault,
+    PoolReport,
+    UnitOutcome,
+    pool_config_for,
+    run_units,
 )
 
 _MUTATION_EXPORTS = (
@@ -55,9 +71,17 @@ __all__ = [
     "BudgetStats",
     "CampaignCheckpoint",
     "CheckAllCheckpoint",
+    "CheckpointCorrupt",
     "CheckpointMismatch",
     "ExplorationCheckpoint",
+    "PoolConfig",
+    "PoolFault",
+    "PoolReport",
+    "UnitOutcome",
     "load_checkpoint",
+    "merge_stats",
+    "pool_config_for",
+    "run_units",
     "save_checkpoint",
     "system_fingerprint",
     *_MUTATION_EXPORTS,

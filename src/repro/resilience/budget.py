@@ -93,6 +93,35 @@ class Budget:
         """A budget with no limits at all."""
         return cls()
 
+    def split(self, shards: int) -> "Budget":
+        """The per-shard budget for ``shards``-way parallel execution.
+
+        Countable limits (states, edges, memory) are divided evenly
+        (ceiling division, floor 1) so the shards *together* charge at
+        most the original budget; the wall-clock **deadline is shared
+        unchanged** — shards run concurrently, so each may use the full
+        remaining time.  Shard meters are re-aggregated on merge with
+        :func:`merge_stats`.
+        """
+        if shards <= 1:
+            return self
+
+        def _div(value: Optional[int]) -> Optional[int]:
+            if value is None:
+                return None
+            return max(1, -(-value // shards))
+
+        shard = Budget(
+            max_states=_div(self.max_states),
+            max_edges=_div(self.max_edges),
+            max_seconds=self.max_seconds,
+            max_memory_bytes=_div(self.max_memory_bytes),
+        )
+        # Re-anchor the shard's deadline to the parent's: splitting must
+        # not extend the total wall clock.
+        object.__setattr__(shard, "deadline", self.deadline)
+        return shard
+
     def meter(self) -> "BudgetMeter":
         """A fresh mutable meter counting against this budget."""
         return BudgetMeter(self)
@@ -257,6 +286,27 @@ class BudgetMeter:
             frontier=frontier,
             depth=depth,
         )
+
+
+def merge_stats(parts: "list[BudgetStats]") -> BudgetStats:
+    """Re-aggregate per-shard meters after a parallel run.
+
+    Counters sum, wall clock is the slowest shard (they ran
+    concurrently), and the reported limit is the first shard's tripped
+    limit in shard order — a deterministic merge regardless of which
+    shard finished first.
+    """
+    if not parts:
+        return BudgetStats(states=0, edges=0, seconds=0.0, memory_bytes=0)
+    return BudgetStats(
+        states=sum(p.states for p in parts),
+        edges=sum(p.edges for p in parts),
+        seconds=max(p.seconds for p in parts),
+        memory_bytes=sum(p.memory_bytes for p in parts),
+        limit=next((p.limit for p in parts if p.limit is not None), None),
+        frontier=sum(p.frontier for p in parts),
+        depth=max(p.depth for p in parts),
+    )
 
 
 def _state_bytes(state: object) -> int:

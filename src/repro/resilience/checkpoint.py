@@ -31,7 +31,9 @@ cannot silently be replayed against a different protocol or model.
 
 from __future__ import annotations
 
+import os
 import pickle
+import tempfile
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -41,6 +43,15 @@ _VERSION = 1
 
 class CheckpointMismatch(ValueError):
     """Raised when a checkpoint does not match the system being resumed."""
+
+
+class CheckpointCorrupt(CheckpointMismatch):
+    """Raised when a checkpoint file exists but cannot be decoded.
+
+    A subclass of :class:`CheckpointMismatch` so existing handlers (the
+    CLI's resume path exits 2 on mismatch) cover corruption too — but
+    distinguishable for callers that want to, say, delete the file.
+    """
 
 
 def system_fingerprint(system) -> str:
@@ -174,21 +185,64 @@ class CampaignCheckpoint:
 
 
 def save_checkpoint(checkpoint, path) -> None:
-    """Serialize any checkpoint object to *path* (versioned pickle)."""
+    """Serialize any checkpoint object to *path* — atomically.
+
+    The envelope is written to a temporary file in the *same directory*,
+    fsynced, then :func:`os.replace`'d over the target, so a crash (or
+    SIGKILL) mid-write leaves either the previous checkpoint or the new
+    one — never a torn file that would fail to load on resume.
+    """
     envelope = {
         "format": _FORMAT,
         "version": _VERSION,
         "kind": type(checkpoint).__name__,
         "checkpoint": checkpoint,
     }
-    with open(path, "wb") as fh:
-        pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def load_checkpoint(path):
-    """Load a checkpoint previously written by :func:`save_checkpoint`."""
+    """Load a checkpoint previously written by :func:`save_checkpoint`.
+
+    Raises :class:`CheckpointCorrupt` (a :class:`CheckpointMismatch`)
+    with a clean diagnostic — no raw pickle traceback — when the file is
+    truncated, garbage, or references classes this version no longer
+    defines; :exc:`OSError` passes through for missing/unreadable files.
+    """
     with open(path, "rb") as fh:
-        envelope = pickle.load(fh)
+        try:
+            envelope = pickle.load(fh)
+        except (
+            pickle.UnpicklingError,
+            EOFError,
+            AttributeError,
+            ImportError,
+            IndexError,
+            MemoryError,
+            UnicodeDecodeError,
+            ValueError,
+        ) as exc:
+            raise CheckpointCorrupt(
+                f"{path}: corrupted checkpoint file "
+                f"({type(exc).__name__}: {exc}); delete it and restart "
+                "the run from scratch"
+            ) from None
     if (
         not isinstance(envelope, dict)
         or envelope.get("format") != _FORMAT

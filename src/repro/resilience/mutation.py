@@ -30,6 +30,11 @@ definition (Section 3):
   never relays afterwards, breaking the full-information forwarding the
   ``t+1``-round protocols rely on (AGREEMENT under the ``S^t``
   adversary's schedule).
+* ``stall-on-conflict`` — one process withholds its decision whenever
+  its view still contains more than one value.  Unlike ``never-decide``
+  the fault is *schedule-dependent*: unanimous-input runs terminate
+  normally, only the adversarial mixed-input runs starve the victim
+  forever (DECISION, found as a lasso on those runs).
 
 :func:`mutation_campaign` runs every (protocol, operator) pair through
 the exhaustive checker in the ``S^t`` synchronous system, replays each
@@ -245,6 +250,29 @@ class DropRelayMutant(MutantProtocol):
         return self._inner.outgoing(i, n, local)
 
 
+class StallOnConflictMutant(MutantProtocol):
+    """One process never decides while its view holds conflicting values.
+
+    A termination fault that only an *adversarial schedule* exposes: on
+    unanimous inputs the victim's value pool is a singleton and it
+    decides like the original protocol (so a checker that only tried
+    happy-path inputs would pass it), but on mixed inputs the full
+    ``t+1``-round exchange fills the pool with both values and the
+    victim starves forever — the checker must find the DECISION lasso on
+    exactly those runs.
+    """
+
+    operator = "stall-on-conflict"
+    expected = frozenset({Verdict.DECISION})
+
+    def decision(self, i: int, n: int, local: Hashable) -> Optional[Hashable]:
+        if i == self._victim(n):
+            pool = _value_pool(local)
+            if pool is not None and len(pool) > 1:
+                return None
+        return self._inner.decision(i, n, local)
+
+
 #: All shipped operators, in report order.
 MUTATION_OPERATORS: tuple[type[MutantProtocol], ...] = (
     FlipDecisionMutant,
@@ -253,6 +281,7 @@ MUTATION_OPERATORS: tuple[type[MutantProtocol], ...] = (
     OverwriteDecisionMutant,
     NeverDecideMutant,
     DropRelayMutant,
+    StallOnConflictMutant,
 )
 
 

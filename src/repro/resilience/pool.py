@@ -1,0 +1,719 @@
+"""Fault-isolated parallel execution of verification units.
+
+Campaign sweeps (protocols × layerings × inputs) and input-assignment
+sweeps inside one ``check_all`` decompose into independent, deterministic
+*units* of work.  This module runs those units across N worker
+**processes** and treats worker failure as a first-class, recoverable
+event rather than a run-ending catastrophe:
+
+* **crash isolation** — each unit runs in a separate OS process; a
+  segfault, ``os._exit``, OOM-kill or SIGKILL takes down one attempt of
+  one unit, never the sweep;
+* **hang detection** — workers emit heartbeats from a daemon thread
+  every :attr:`PoolConfig.heartbeat_interval` seconds while a unit runs;
+  a worker whose heartbeats stop for :attr:`PoolConfig.stall_timeout`
+  seconds (frozen process, SIGSTOP, deadlocked interpreter) is killed
+  and its unit rescheduled.  An optional per-attempt
+  :attr:`PoolConfig.unit_timeout` bounds each attempt's wall clock;
+* **bounded retry with backoff** — a failed attempt (crash, hang,
+  timeout, or an exception raised by the unit function) is retried up to
+  :attr:`PoolConfig.max_retries` times, each retry delayed by an
+  exponentially growing :attr:`PoolConfig.retry_backoff`;
+* **quarantine** — a unit that exhausts its retries is *quarantined*:
+  recorded as failed with its fault history, while every other unit
+  completes normally.  Callers surface quarantined units as
+  UNKNOWN-with-cause verdicts instead of aborting the sweep;
+* **deterministic merge** — results are keyed, never ordered by
+  completion: :func:`run_units` returns a ``{key: UnitOutcome}`` mapping
+  and callers merge in their own deterministic unit order, so a parallel
+  sweep's output is a pure function of its input, independent of worker
+  scheduling.  The unit functions themselves are deterministic, so even
+  a retried unit returns the same value it would have on its first
+  attempt.
+
+The unit function must be a **module-level callable** (pickled by
+reference under the ``spawn`` start method) taking one picklable payload
+and returning a picklable value.  ``ConsensusReport`` objects — witnesses
+included — are picklable by design, so verification units return full
+reports.
+
+``workers <= 1`` degrades to in-process sequential execution with the
+same retry/quarantine semantics for unit *exceptions* (in-process
+execution cannot survive a SIGKILL, by definition), so callers need no
+separate code path and tests can force the sequential engine.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import threading
+import time
+import traceback
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+#: Unit outcome statuses.
+UNIT_OK = "ok"
+UNIT_QUARANTINED = "quarantined"
+
+#: Fault kinds recorded per failed attempt.
+FAULT_CRASH = "worker-crashed"       # process died (e.g. SIGKILL, segfault)
+FAULT_TIMEOUT = "unit-timeout"       # attempt exceeded unit_timeout
+FAULT_STALL = "heartbeat-stall"      # heartbeats stopped; worker killed
+FAULT_ERROR = "unit-exception"       # unit function raised
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Tuning knobs for a fault-isolated worker pool.
+
+    Attributes:
+        workers: number of worker processes (``<= 1`` runs sequentially
+            in-process).
+        unit_timeout: wall-clock seconds allowed per *attempt*; None
+            disables the per-attempt deadline (heartbeat stall detection
+            still guards against frozen workers).
+        max_retries: how many times a failed unit is re-run before
+            quarantine; the default 1 means "a unit that crashes twice is
+            quarantined".
+        retry_backoff: delay before the first retry, doubled per retry.
+        heartbeat_interval: how often a busy worker emits a heartbeat.
+        stall_timeout: seconds without a heartbeat after which a busy
+            worker is declared hung and killed; None disables stall
+            detection.
+    """
+
+    workers: int = 2
+    unit_timeout: Optional[float] = None
+    max_retries: int = 1
+    retry_backoff: float = 0.05
+    heartbeat_interval: float = 0.2
+    stall_timeout: Optional[float] = 10.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+
+@dataclass(frozen=True)
+class PoolFault:
+    """One failed attempt of one unit — the pool's fault log entry."""
+
+    key: Any
+    attempt: int
+    kind: str
+    detail: str
+
+    def describe(self) -> str:
+        return f"attempt {self.attempt} of unit {self.key!r}: {self.kind} ({self.detail})"
+
+
+@dataclass(frozen=True)
+class UnitOutcome:
+    """The final fate of one unit after retries.
+
+    Attributes:
+        key: the unit's caller-chosen key.
+        status: :data:`UNIT_OK` or :data:`UNIT_QUARANTINED`.
+        value: the unit function's return value (None when quarantined).
+        attempts: how many attempts were made in total.
+        faults: the fault log entries for this unit's failed attempts —
+            non-empty exactly when the unit was retried or quarantined.
+        seconds: wall clock from first dispatch to final resolution.
+    """
+
+    key: Any
+    status: str
+    value: Any
+    attempts: int
+    faults: tuple[PoolFault, ...] = ()
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == UNIT_OK
+
+    @property
+    def quarantined(self) -> bool:
+        return self.status == UNIT_QUARANTINED
+
+    def cause(self) -> str:
+        """Human-readable reason for a quarantine (last fault first)."""
+        if not self.faults:
+            return "no recorded faults"
+        last = self.faults[-1]
+        first_line = last.detail.strip().splitlines()[-1] if last.detail else ""
+        return f"{last.kind} after {self.attempts} attempts: {first_line}"
+
+
+@dataclass(frozen=True)
+class PoolReport:
+    """Everything a pool run produced, keyed for deterministic merging.
+
+    Attributes:
+        outcomes: ``{key: UnitOutcome}`` — one entry per submitted unit.
+        faults: every failed attempt across all units, in detection order
+            (the only completion-order-dependent field; it is a log, not
+            an input to any merge).
+        workers: how many worker processes served the run (0 = serial).
+        seconds: total wall clock of the pool run.
+    """
+
+    outcomes: dict
+    faults: tuple[PoolFault, ...]
+    workers: int
+    seconds: float
+
+    def value(self, key) -> Any:
+        """The OK value for *key*; raises KeyError / ValueError otherwise."""
+        outcome = self.outcomes[key]
+        if not outcome.ok:
+            raise ValueError(
+                f"unit {key!r} was quarantined: {outcome.cause()}"
+            )
+        return outcome.value
+
+    @property
+    def quarantined(self) -> list:
+        """Keys of quarantined units, in submission order."""
+        return [k for k, o in self.outcomes.items() if o.quarantined]
+
+    @property
+    def retried(self) -> list:
+        """Keys of units that needed more than one attempt but succeeded."""
+        return [
+            k for k, o in self.outcomes.items() if o.ok and o.attempts > 1
+        ]
+
+    def describe(self) -> str:
+        """One-line summary for CLI diagnostics."""
+        n = len(self.outcomes)
+        parts = [f"{n} units on {self.workers or 'no'} workers"]
+        if self.retried:
+            parts.append(f"{len(self.retried)} retried")
+        if self.quarantined:
+            parts.append(f"{len(self.quarantined)} quarantined")
+        if self.faults:
+            parts.append(f"{len(self.faults)} faults")
+        return ", ".join(parts)
+
+
+# -- worker side -------------------------------------------------------------
+#
+# Results travel over a dedicated pipe per worker, NOT a shared queue.
+# A shared multiprocessing.Queue serializes writers through a lock in
+# shared memory; a worker SIGKILLed while its feeder thread holds that
+# lock leaves it locked forever, deadlocking every *other* worker's
+# reports — one crash poisons the whole pool.  With one pipe per worker
+# a dying worker can only tear its own channel, which the supervisor
+# simply stops reading (crash detection resolves the unit).
+
+def _heartbeat_loop(conn, send_lock, worker_id, key, attempt, interval, stop):
+    while not stop.wait(interval):
+        try:
+            with send_lock:
+                conn.send(("beat", worker_id, key, attempt, None))
+        except Exception:  # channel torn down mid-shutdown: nothing to do
+            return
+
+
+def _worker_main(worker_id, task_queue, result_conn, fn, heartbeat_interval):
+    """Worker process body: pull units, run them, report, repeat."""
+    send_lock = threading.Lock()  # main thread vs heartbeat thread
+
+    def send(message) -> None:
+        try:
+            with send_lock:
+                result_conn.send(message)
+        except Exception:  # supervisor gone: die quietly with it
+            pass
+
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        key, attempt, payload = item
+        send(("start", worker_id, key, attempt, None))
+        stop = threading.Event()
+        beat = threading.Thread(
+            target=_heartbeat_loop,
+            args=(
+                result_conn,
+                send_lock,
+                worker_id,
+                key,
+                attempt,
+                heartbeat_interval,
+                stop,
+            ),
+            daemon=True,
+        )
+        beat.start()
+        try:
+            value = fn(payload)
+        except KeyboardInterrupt:
+            return
+        except BaseException:
+            stop.set()
+            beat.join()
+            send(("error", worker_id, key, attempt, traceback.format_exc()))
+        else:
+            stop.set()
+            beat.join()
+            send(("done", worker_id, key, attempt, value))
+
+
+# -- supervisor side ---------------------------------------------------------
+
+class _Worker:
+    """Supervisor-side handle of one worker process."""
+
+    __slots__ = (
+        "id",
+        "process",
+        "queue",
+        "conn",
+        "conn_ok",
+        "key",
+        "attempt",
+        "started",
+        "last_beat",
+    )
+
+    def __init__(self, worker_id, process, task_queue, conn):
+        self.id = worker_id
+        self.process = process
+        self.queue = task_queue
+        self.conn = conn
+        self.conn_ok = True
+        self.key = None
+        self.attempt = 0
+        self.started = 0.0
+        self.last_beat = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.key is not None
+
+    def assign(self, key, attempt, payload) -> None:
+        self.key = key
+        self.attempt = attempt
+        now = time.monotonic()
+        self.started = now
+        self.last_beat = now
+        self.queue.put((key, attempt, payload))
+
+    def release(self) -> None:
+        self.key = None
+        self.attempt = 0
+
+    def close_channel(self) -> None:
+        self.conn_ok = False
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+class _Pending:
+    """A unit attempt waiting for dispatch (initial or retry)."""
+
+    __slots__ = ("key", "attempt", "payload", "not_before", "order")
+
+    def __init__(self, key, attempt, payload, not_before, order):
+        self.key = key
+        self.attempt = attempt
+        self.payload = payload
+        self.not_before = not_before
+        self.order = order
+
+
+class _Supervisor:
+    """Drives N worker processes over a fixed set of units."""
+
+    def __init__(self, fn, units, config, on_complete):
+        self._fn = fn
+        self._units = list(units)
+        self._config = config
+        self._on_complete = on_complete
+        self._ctx = multiprocessing.get_context()
+        self._workers: list[_Worker] = []
+        self._pending: list[_Pending] = []
+        self._outcomes: dict = {}
+        self._faults: list[PoolFault] = []
+        self._unit_faults: dict = {}
+        self._dispatched_at: dict = {}
+        self._next_worker_id = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    def run(self) -> PoolReport:
+        started = time.monotonic()
+        for order, (key, payload) in enumerate(self._units):
+            if key in self._unit_faults:
+                raise ValueError(f"duplicate unit key {key!r}")
+            self._unit_faults[key] = []
+            self._pending.append(_Pending(key, 1, payload, 0.0, order))
+        try:
+            for _ in range(min(self._config.workers, len(self._units))):
+                self._workers.append(self._spawn_worker())
+            while len(self._outcomes) < len(self._units):
+                self._dispatch()
+                self._drain(timeout=0.05)
+                self._check_health()
+        finally:
+            self._shutdown()
+        return PoolReport(
+            outcomes={
+                key: self._outcomes[key] for key, _ in self._units
+            },
+            faults=tuple(self._faults),
+            workers=self._config.workers,
+            seconds=time.monotonic() - started,
+        )
+
+    def _spawn_worker(self) -> _Worker:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        task_queue = self._ctx.Queue()
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                task_queue,
+                send_conn,
+                self._fn,
+                self._config.heartbeat_interval,
+            ),
+            daemon=True,
+        )
+        process.start()
+        # Drop the parent's copy of the write end so the worker process
+        # is the channel's only writer and its death yields a clean EOF.
+        send_conn.close()
+        return _Worker(worker_id, process, task_queue, recv_conn)
+
+    def _shutdown(self) -> None:
+        for worker in self._workers:
+            try:
+                worker.queue.put(None)
+            except Exception:
+                pass
+        deadline = time.monotonic() + 1.0
+        for worker in self._workers:
+            worker.process.join(max(0.0, deadline - time.monotonic()))
+        for worker in self._workers:
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(1.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(1.0)
+            worker.queue.close()
+            worker.close_channel()
+
+    # -- scheduling ---------------------------------------------------------
+    def _dispatch(self) -> None:
+        if not self._pending:
+            return
+        now = time.monotonic()
+        ready = [p for p in self._pending if p.not_before <= now]
+        ready.sort(key=lambda p: (p.attempt, p.order))
+        for worker in self._workers:
+            if not ready:
+                return
+            if worker.busy or not worker.process.is_alive():
+                continue
+            unit = ready.pop(0)
+            self._pending.remove(unit)
+            self._dispatched_at.setdefault(unit.key, now)
+            worker.assign(unit.key, unit.attempt, unit.payload)
+
+    def _drain(self, timeout: float) -> None:
+        # Each worker reports over its own pipe: a worker SIGKILLed
+        # mid-send can only tear its own channel. On EOF or a message
+        # that fails to deserialize we retire that one channel — the
+        # health checks then resolve the affected unit via timeout or
+        # crash detection, so a dying worker degrades, never deadlocks.
+        channels = {
+            worker.conn: worker for worker in self._workers if worker.conn_ok
+        }
+        if not channels:
+            time.sleep(timeout)
+            return
+        try:
+            ready = multiprocessing.connection.wait(channels, timeout)
+        except OSError:
+            return
+        for conn in ready:
+            worker = channels[conn]
+            while worker.conn_ok:
+                try:
+                    if not conn.poll():
+                        break
+                    message = conn.recv()
+                except Exception:
+                    worker.close_channel()
+                    break
+                self._handle(message)
+
+    def _worker_for(self, worker_id) -> Optional[_Worker]:
+        for worker in self._workers:
+            if worker.id == worker_id:
+                return worker
+        return None
+
+    def _handle(self, message) -> None:
+        kind, worker_id, key, attempt, body = message
+        worker = self._worker_for(worker_id)
+        current = (
+            worker is not None
+            and worker.key == key
+            and worker.attempt == attempt
+        )
+        if kind == "beat" or kind == "start":
+            if current:
+                worker.last_beat = time.monotonic()
+            return
+        if not current or key in self._outcomes:
+            return  # stale message from a superseded attempt
+        worker.release()
+        if kind == "done":
+            self._finish(key, attempt, body)
+        elif kind == "error":
+            self._attempt_failed(key, attempt, FAULT_ERROR, body)
+
+    def _check_health(self) -> None:
+        config = self._config
+        now = time.monotonic()
+        for index, worker in enumerate(self._workers):
+            if not worker.process.is_alive():
+                if worker.busy:
+                    key, attempt = worker.key, worker.attempt
+                    worker.release()
+                    worker.close_channel()
+                    self._workers[index] = self._spawn_worker()
+                    self._attempt_failed(
+                        key,
+                        attempt,
+                        FAULT_CRASH,
+                        f"worker process died (exitcode "
+                        f"{worker.process.exitcode})",
+                    )
+                elif self._pending or len(self._outcomes) < len(self._units):
+                    worker.close_channel()
+                    self._workers[index] = self._spawn_worker()
+                continue
+            if not worker.busy:
+                continue
+            if (
+                config.unit_timeout is not None
+                and now - worker.started > config.unit_timeout
+            ):
+                self._kill_and_fail(
+                    index,
+                    FAULT_TIMEOUT,
+                    f"attempt exceeded unit timeout "
+                    f"({config.unit_timeout:g}s)",
+                )
+            elif (
+                config.stall_timeout is not None
+                and now - worker.last_beat > config.stall_timeout
+            ):
+                self._kill_and_fail(
+                    index,
+                    FAULT_STALL,
+                    f"no heartbeat for {config.stall_timeout:g}s",
+                )
+
+    def _kill_and_fail(self, index: int, kind: str, detail: str) -> None:
+        worker = self._workers[index]
+        key, attempt = worker.key, worker.attempt
+        worker.release()
+        worker.process.kill()
+        worker.process.join(1.0)
+        worker.queue.close()
+        worker.close_channel()
+        self._workers[index] = self._spawn_worker()
+        self._attempt_failed(key, attempt, kind, detail)
+
+    # -- outcome accounting -------------------------------------------------
+    def _finish(self, key, attempt, value) -> None:
+        outcome = UnitOutcome(
+            key=key,
+            status=UNIT_OK,
+            value=value,
+            attempts=attempt,
+            faults=tuple(self._unit_faults[key]),
+            seconds=time.monotonic() - self._dispatched_at[key],
+        )
+        self._outcomes[key] = outcome
+        if self._on_complete is not None:
+            self._on_complete(outcome)
+
+    def _attempt_failed(self, key, attempt, kind, detail) -> None:
+        fault = PoolFault(key=key, attempt=attempt, kind=kind, detail=detail)
+        self._faults.append(fault)
+        self._unit_faults[key].append(fault)
+        config = self._config
+        if attempt <= config.max_retries:
+            delay = config.retry_backoff * (2 ** (attempt - 1))
+            payload = self._payload_for(key)
+            self._pending.append(
+                _Pending(
+                    key,
+                    attempt + 1,
+                    payload,
+                    time.monotonic() + delay,
+                    self._order_for(key),
+                )
+            )
+            return
+        outcome = UnitOutcome(
+            key=key,
+            status=UNIT_QUARANTINED,
+            value=None,
+            attempts=attempt,
+            faults=tuple(self._unit_faults[key]),
+            seconds=time.monotonic() - self._dispatched_at.get(key, time.monotonic()),
+        )
+        self._outcomes[key] = outcome
+        if self._on_complete is not None:
+            self._on_complete(outcome)
+
+    def _payload_for(self, key):
+        for unit_key, payload in self._units:
+            if unit_key == key:
+                return payload
+        raise KeyError(key)
+
+    def _order_for(self, key) -> int:
+        for order, (unit_key, _) in enumerate(self._units):
+            if unit_key == key:
+                return order
+        raise KeyError(key)
+
+
+# -- serial fallback ---------------------------------------------------------
+
+def _run_serial(fn, units, config, on_complete) -> PoolReport:
+    outcomes: dict = {}
+    faults: list[PoolFault] = []
+    started = time.monotonic()
+    for key, payload in units:
+        if key in outcomes:
+            raise ValueError(f"duplicate unit key {key!r}")
+        unit_faults: list[PoolFault] = []
+        unit_started = time.monotonic()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                value = fn(payload)
+            except KeyboardInterrupt:
+                raise
+            except Exception:
+                fault = PoolFault(
+                    key=key,
+                    attempt=attempt,
+                    kind=FAULT_ERROR,
+                    detail=traceback.format_exc(),
+                )
+                faults.append(fault)
+                unit_faults.append(fault)
+                if attempt <= config.max_retries:
+                    time.sleep(config.retry_backoff * (2 ** (attempt - 1)))
+                    continue
+                outcome = UnitOutcome(
+                    key=key,
+                    status=UNIT_QUARANTINED,
+                    value=None,
+                    attempts=attempt,
+                    faults=tuple(unit_faults),
+                    seconds=time.monotonic() - unit_started,
+                )
+                break
+            outcome = UnitOutcome(
+                key=key,
+                status=UNIT_OK,
+                value=value,
+                attempts=attempt,
+                faults=tuple(unit_faults),
+                seconds=time.monotonic() - unit_started,
+            )
+            break
+        outcomes[key] = outcome
+        if on_complete is not None:
+            on_complete(outcome)
+    return PoolReport(
+        outcomes=outcomes,
+        faults=tuple(faults),
+        workers=0,
+        seconds=time.monotonic() - started,
+    )
+
+
+def run_units(
+    fn: Callable[[Any], Any],
+    units: Sequence[tuple],
+    config: Optional[PoolConfig] = None,
+    on_complete: Optional[Callable[[UnitOutcome], None]] = None,
+) -> PoolReport:
+    """Run ``fn(payload)`` for every ``(key, payload)`` unit, fault-isolated.
+
+    Args:
+        fn: a **module-level** callable (must pickle by reference) mapping
+            one payload to one picklable result.  It must be deterministic:
+            retries assume re-running a unit reproduces its result.
+        units: ``(key, payload)`` pairs; keys must be unique and hashable,
+            payloads picklable.  Submission order fixes the deterministic
+            merge order of :attr:`PoolReport.outcomes`.
+        config: pool tuning; ``PoolConfig()`` when omitted.  ``workers <=
+            1`` runs sequentially in-process (same retry/quarantine
+            handling for unit exceptions).
+        on_complete: optional callback invoked in the supervisor process
+            the moment each unit resolves (OK or quarantined) — the hook
+            campaign checkpoints use to record finished units as workers
+            finish, so an interrupt loses at most in-flight units.  Runs
+            in completion order, which is scheduling-dependent; anything
+            merged into results must use ``outcomes`` instead.
+
+    Returns:
+        A :class:`PoolReport` whose ``outcomes`` preserve unit submission
+        order (dict insertion order) regardless of completion order.
+
+    Raises:
+        KeyboardInterrupt: propagated after terminating all workers;
+            units already resolved have had ``on_complete`` called.
+    """
+    config = config or PoolConfig()
+    if not units:
+        return PoolReport(outcomes={}, faults=(), workers=0, seconds=0.0)
+    if config.workers <= 1:
+        return _run_serial(fn, units, config, on_complete)
+    return _Supervisor(fn, units, config, on_complete).run()
+
+
+def pool_config_for(
+    workers: Optional[int],
+    unit_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+) -> Optional[PoolConfig]:
+    """Build a :class:`PoolConfig` from CLI-style optional knobs.
+
+    Returns None when *workers* is None (sequential path requested), so
+    call sites can do ``pool=pool_config_for(args.workers, ...)`` and
+    branch on a single value.
+    """
+    if workers is None:
+        return None
+    config = PoolConfig(workers=workers)
+    if unit_timeout is not None:
+        config = replace(config, unit_timeout=unit_timeout)
+    if max_retries is not None:
+        config = replace(config, max_retries=max_retries)
+    return config

@@ -11,6 +11,7 @@ from repro.resilience.budget import (
     LIMIT_INTERRUPTED,
     LIMIT_STATES,
     LIMIT_TIME,
+    merge_stats,
 )
 from tests.conftest import ToySystem
 
@@ -38,6 +39,85 @@ class TestBudgetOf:
     def test_describe_lists_limits(self):
         text = Budget(max_states=10, max_seconds=2.0).describe()
         assert "states<=10" in text and "time<=2s" in text
+
+    @pytest.mark.parametrize(
+        "limit, expected_max_states",
+        [
+            (0, 0),
+            (-1, -1),
+            (7.9, 7),
+            (7.0, 7),
+            (True, 1),
+        ],
+        ids=["zero", "negative", "float-truncates", "float-exact", "bool"],
+    )
+    def test_coercion_edge_cases(self, limit, expected_max_states):
+        assert Budget.of(limit).max_states == expected_max_states
+
+    @pytest.mark.parametrize("limit", [0, -1], ids=["zero", "negative"])
+    def test_zero_and_negative_trip_immediately(self, limit):
+        meter = Budget.of(limit).meter()
+        assert meter.charge_state() == LIMIT_STATES
+
+    def test_budget_passthrough_ignores_default(self):
+        b = Budget(max_states=5)
+        assert Budget.of(b, default=1_000_000) is b
+
+    def test_none_with_none_default_is_unlimited(self):
+        meter = Budget.of(None).meter()
+        for _ in range(10_000):
+            assert meter.charge_state() is None
+
+
+class TestBudgetSplit:
+    def test_counts_divide_with_ceiling(self):
+        shard = Budget(max_states=10, max_edges=7).split(3)
+        assert shard.max_states == 4  # ceil(10/3)
+        assert shard.max_edges == 3  # ceil(7/3)
+
+    def test_single_shard_is_identity(self):
+        b = Budget(max_states=10)
+        assert b.split(1) is b
+
+    def test_unlimited_stays_unlimited(self):
+        shard = Budget.unlimited().split(4)
+        assert shard.max_states is None and shard.max_edges is None
+
+    def test_floor_of_one(self):
+        assert Budget(max_states=2).split(8).max_states == 1
+
+    def test_deadline_shared_not_extended(self):
+        b = Budget(max_seconds=60.0)
+        shard = b.split(4)
+        assert shard.deadline == b.deadline
+        assert shard.max_seconds == b.max_seconds
+
+
+class TestMergeStats:
+    def test_counters_sum_and_clock_maxes(self):
+        merged = merge_stats(
+            [
+                BudgetStats(states=3, edges=5, seconds=1.0, memory_bytes=10),
+                BudgetStats(states=4, edges=6, seconds=2.5, memory_bytes=20),
+            ]
+        )
+        assert merged.states == 7 and merged.edges == 11
+        assert merged.seconds == 2.5
+        assert merged.memory_bytes == 30
+
+    def test_limit_is_first_in_shard_order(self):
+        merged = merge_stats(
+            [
+                BudgetStats(0, 0, 0.0, 0, limit=None),
+                BudgetStats(0, 0, 0.0, 0, limit=LIMIT_STATES),
+                BudgetStats(0, 0, 0.0, 0, limit=LIMIT_EDGES),
+            ]
+        )
+        assert merged.limit == LIMIT_STATES
+
+    def test_empty_merges_to_zero(self):
+        merged = merge_stats([])
+        assert merged.states == 0 and merged.limit is None
 
 
 class TestMeter:

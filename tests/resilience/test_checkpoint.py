@@ -13,6 +13,7 @@ from repro.core.checker import ConsensusChecker
 from repro.resilience.checkpoint import (
     CampaignCheckpoint,
     CheckAllCheckpoint,
+    CheckpointCorrupt,
     CheckpointMismatch,
     load_checkpoint,
     save_checkpoint,
@@ -124,6 +125,97 @@ class TestFingerprintGuard:
         fp = system_fingerprint(st_floodset_tight)
         assert "StSynchronousLayering" in fp
         assert "FloodSet" in fp
+
+
+class TestAtomicSave:
+    def test_save_replaces_atomically(self, tmp_path):
+        path = tmp_path / "campaign.ckpt"
+        first = CampaignCheckpoint(completed={"unit": "v1"})
+        second = CampaignCheckpoint(completed={"unit": "v2"})
+        save_checkpoint(first, path)
+        save_checkpoint(second, path)
+        assert load_checkpoint(path).completed == {"unit": "v2"}
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_mid_write_death_preserves_previous(self, tmp_path):
+        """SIGKILL inside the serialization must leave the previous
+        checkpoint loadable — the write goes to a temp file and only an
+        atomic rename publishes it."""
+        import multiprocessing
+        import os
+        import signal
+
+        path = tmp_path / "campaign.ckpt"
+        save_checkpoint(CampaignCheckpoint(completed={"unit": "v1"}), path)
+
+        def die_mid_save() -> None:
+            import pickle as pickle_module
+
+            def torn_dump(obj, fh, protocol=None):
+                fh.write(b"\x80torn-partial-write")
+                fh.flush()
+                os.fsync(fh.fileno())
+                os.kill(os.getpid(), signal.SIGKILL)
+
+            pickle_module.dump = torn_dump
+            save_checkpoint(
+                CampaignCheckpoint(completed={"unit": "v2"}), path
+            )
+
+        ctx = multiprocessing.get_context("fork")
+        proc = ctx.Process(target=die_mid_save)
+        proc.start()
+        proc.join(timeout=30)
+        assert proc.exitcode == -signal.SIGKILL
+        assert load_checkpoint(path).completed == {"unit": "v1"}
+
+    def test_failed_save_cleans_temp_and_keeps_old(
+        self, tmp_path, monkeypatch
+    ):
+        import pickle as pickle_module
+
+        path = tmp_path / "campaign.ckpt"
+        save_checkpoint(CampaignCheckpoint(completed={"unit": "v1"}), path)
+
+        def boom(obj, fh, protocol=None):
+            raise RuntimeError("disk full, say")
+
+        monkeypatch.setattr(pickle_module, "dump", boom)
+        with pytest.raises(RuntimeError):
+            save_checkpoint(
+                CampaignCheckpoint(completed={"unit": "v2"}), path
+            )
+        monkeypatch.undo()
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert load_checkpoint(path).completed == {"unit": "v1"}
+
+
+class TestCorruptLoad:
+    def test_truncated_file_is_a_clean_diagnostic(self, tmp_path):
+        path = tmp_path / "campaign.ckpt"
+        save_checkpoint(CampaignCheckpoint(completed={"unit": "v1"}), path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CheckpointCorrupt) as excinfo:
+            load_checkpoint(path)
+        message = str(excinfo.value)
+        assert "corrupted checkpoint" in message
+        assert str(path) in message
+
+    def test_garbage_bytes(self, tmp_path):
+        path = tmp_path / "garbage.ckpt"
+        path.write_bytes(b"this is not a pickle at all \x00\xff")
+        with pytest.raises(CheckpointCorrupt):
+            load_checkpoint(path)
+
+    def test_corrupt_is_a_mismatch(self):
+        """Existing CheckpointMismatch handlers (the CLI exits 2) must
+        cover corruption without new plumbing."""
+        assert issubclass(CheckpointCorrupt, CheckpointMismatch)
+
+    def test_missing_file_stays_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_checkpoint(tmp_path / "never-written.ckpt")
 
 
 class TestCampaignCheckpoint:

@@ -16,6 +16,7 @@ from repro.resilience.mutation import (
     FlipDecisionMutant,
     MutantProtocol,
     NeverDecideMutant,
+    StallOnConflictMutant,
     kill_rate,
     mutation_campaign,
     mutation_kill_table,
@@ -89,8 +90,9 @@ class TestKillTable:
     def test_table_renders(self, campaign):
         table = mutation_kill_table(campaign)
         assert "mutation kill rate" in table
-        assert "12/12 (100%)" in table
+        assert "14/14 (100%)" in table
         assert "flip-decision" in table and "drop-relay" in table
+        assert "stall-on-conflict" in table
 
     def test_kill_rate_empty(self):
         assert kill_rate([]) == 0.0
@@ -129,3 +131,24 @@ class TestOperatorMechanics:
         mutant = DropRelayMutant(inner)
         fresh = inner.initial_local(2, 3, 1)
         assert mutant.outgoing(2, 3, fresh) == inner.outgoing(2, 3, fresh)
+
+    def test_stall_on_conflict_decides_on_unanimity(self):
+        """The fault must stay latent off the adversarial schedules: a
+        victim whose pool is a singleton decides exactly like the
+        original protocol."""
+        import dataclasses
+
+        from repro.protocols.floodset import FloodSet
+
+        inner = FloodSet(2)
+        mutant = StallOnConflictMutant(inner)
+        decided = dataclasses.replace(
+            inner.initial_local(2, 3, 1), round=2, decided=1
+        )
+        assert mutant.decision(2, 3, decided) == inner.decision(2, 3, decided)
+        assert mutant.decision(2, 3, decided) is not None
+        conflicted = dataclasses.replace(
+            decided, known=frozenset({0, 1})
+        )
+        assert inner.decision(2, 3, conflicted) is not None
+        assert mutant.decision(2, 3, conflicted) is None

@@ -1,0 +1,197 @@
+"""The fault-isolated worker pool: crashes, hangs, retries, quarantine.
+
+The acceptance bar for the pool itself (the checker-level guarantees are
+in ``tests/core/test_parallel_checker.py``): a worker SIGKILLed mid-unit
+is respawned and the unit retried to success with the kill on record; a
+unit that fails deterministically is quarantined without disturbing its
+neighbours; a hung unit is detected and killed by the per-unit timeout;
+and the merged outcome mapping is keyed and complete regardless of
+completion order.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.resilience.pool import (
+    FAULT_CRASH,
+    FAULT_ERROR,
+    FAULT_TIMEOUT,
+    PoolConfig,
+    pool_config_for,
+    run_units,
+)
+
+
+# -- module-level unit functions (workers import them by reference) ----------
+
+def _square(payload):
+    return payload * payload
+
+
+def _kill_once(payload):
+    """SIGKILL our own process the first time; succeed once the marker
+    file exists (i.e. on the retry)."""
+    marker, value = payload
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("attempt 1 died here")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value
+
+
+def _always_raise(payload):
+    raise RuntimeError(f"deterministic failure for {payload!r}")
+
+
+def _hang_forever(payload):
+    while True:
+        time.sleep(0.5)
+
+
+def _crash_or_square(payload):
+    if payload == "crash":
+        os.kill(os.getpid(), signal.SIGKILL)
+    return payload * 2
+
+
+class TestHappyPath:
+    def test_all_units_complete_keyed(self):
+        units = [(f"u{i}", i) for i in range(8)]
+        report = run_units(_square, units, PoolConfig(workers=3))
+        assert list(report.outcomes) == [f"u{i}" for i in range(8)]
+        for i in range(8):
+            outcome = report.outcomes[f"u{i}"]
+            assert outcome.ok and outcome.value == i * i
+            assert outcome.attempts == 1 and outcome.faults == ()
+        assert report.quarantined == [] and report.retried == []
+        assert report.workers == 3
+
+    def test_serial_fallback_same_shape(self):
+        units = [(f"u{i}", i) for i in range(4)]
+        report = run_units(_square, units, PoolConfig(workers=1))
+        assert report.workers == 0
+        assert [report.value(k) for k, _ in units] == [0, 1, 4, 9]
+
+    def test_empty_units(self):
+        report = run_units(_square, [], PoolConfig(workers=2))
+        assert report.outcomes == {}
+
+    def test_on_complete_sees_every_unit_once(self):
+        seen = []
+        units = [(f"u{i}", i) for i in range(6)]
+        run_units(
+            _square,
+            units,
+            PoolConfig(workers=2),
+            on_complete=lambda outcome: seen.append(outcome.key),
+        )
+        assert sorted(seen) == sorted(k for k, _ in units)
+
+
+class TestCrashRecovery:
+    def test_sigkill_mid_unit_retries_to_success(self, tmp_path):
+        marker = str(tmp_path / "died-once")
+        units = [("victim", (marker, 42)), ("bystander", (str(tmp_path / "x"), 7))]
+        report = run_units(
+            _kill_once,
+            units,
+            PoolConfig(workers=2, max_retries=2, retry_backoff=0.01),
+        )
+        victim = report.outcomes["victim"]
+        assert victim.ok and victim.value == 42
+        assert victim.attempts >= 2
+        assert any(f.kind == FAULT_CRASH for f in victim.faults)
+
+    def test_deterministic_crasher_quarantined_not_fatal(self, tmp_path):
+        units = [("ok1", "a"), ("crash", "crash"), ("ok2", "b")]
+        report = run_units(
+            _crash_or_square,
+            units,
+            PoolConfig(workers=2, max_retries=1, retry_backoff=0.01),
+        )
+        assert report.quarantined == ["crash"]
+        crashed = report.outcomes["crash"]
+        assert crashed.attempts == 2  # original + one retry
+        assert all(f.kind == FAULT_CRASH for f in crashed.faults)
+        assert FAULT_CRASH in crashed.cause()
+        # The neighbours finished normally despite the repeated kills.
+        assert report.value("ok1") == "aa"
+        assert report.value("ok2") == "bb"
+
+    def test_value_raises_for_quarantined(self):
+        report = run_units(
+            _always_raise,
+            [("bad", 1)],
+            PoolConfig(workers=2, max_retries=0),
+        )
+        with pytest.raises(ValueError, match="quarantined"):
+            report.value("bad")
+
+
+class TestExceptionsAndTimeouts:
+    def test_unit_exception_records_traceback(self):
+        report = run_units(
+            _always_raise,
+            [("bad", "payload-x"), ("good", None)],
+            PoolConfig(workers=2, max_retries=1, retry_backoff=0.01),
+        )
+        bad = report.outcomes["bad"]
+        assert bad.quarantined and bad.attempts == 2
+        assert all(f.kind == FAULT_ERROR for f in bad.faults)
+        assert "deterministic failure" in bad.faults[-1].detail
+
+    def test_serial_engine_retries_exceptions_too(self):
+        report = run_units(
+            _always_raise, [("bad", 1)], PoolConfig(workers=1, max_retries=2)
+        )
+        bad = report.outcomes["bad"]
+        assert bad.quarantined and bad.attempts == 3
+
+    def test_hung_unit_killed_by_timeout(self):
+        report = run_units(
+            _hang_forever,
+            [("hung", None)],
+            PoolConfig(
+                workers=2,
+                unit_timeout=0.5,
+                max_retries=0,
+                heartbeat_interval=0.05,
+            ),
+        )
+        hung = report.outcomes["hung"]
+        assert hung.quarantined
+        assert any(f.kind == FAULT_TIMEOUT for f in hung.faults)
+
+
+class TestConfig:
+    def test_pool_config_for_none_is_sequential(self):
+        assert pool_config_for(None) is None
+
+    def test_pool_config_for_threads_knobs(self):
+        config = pool_config_for(4, unit_timeout=2.5, max_retries=3)
+        assert config.workers == 4
+        assert config.unit_timeout == 2.5
+        assert config.max_retries == 3
+
+    def test_pool_config_for_defaults(self):
+        config = pool_config_for(2)
+        assert config.unit_timeout is None
+        assert config.max_retries == PoolConfig().max_retries
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            PoolConfig(workers=-1)
+        with pytest.raises(ValueError):
+            PoolConfig(max_retries=-1)
+
+    def test_describe_mentions_faults(self, tmp_path):
+        report = run_units(
+            _crash_or_square,
+            [("crash", "crash"), ("ok", "z")],
+            PoolConfig(workers=2, max_retries=0),
+        )
+        text = report.describe()
+        assert "quarantined" in text and "faults" in text
