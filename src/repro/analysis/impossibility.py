@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.core.bivalence import build_bivalent_lasso
+from repro.core.cache import CacheSpec
 from repro.core.checker import (
     ConsensusChecker,
     ConsensusReport,
@@ -123,6 +124,7 @@ def refute_candidate(
     workers: Optional[int] = None,
     pool: Optional[PoolConfig] = None,
     on_unit=None,
+    cache: CacheSpec = True,
 ) -> list[Refutation]:
     """Run one candidate through every applicable layered model.
 
@@ -135,13 +137,23 @@ def refute_candidate(
     identical to the sequential run, and a crashing model sweep is
     quarantined as UNKNOWN instead of killing the campaign (see
     :func:`repro.core.checker.run_campaign`).
+
+    ``cache`` memoizes successor/failure/decision queries per unit
+    (default on; pass ``False`` to disable, an int for an LRU bound).
+    Each unit gets its own cache — parallel workers never share one —
+    and verdicts are byte-identical either way.
     """
     budget = Budget.of(max_states)
     layerings = standard_layerings(protocol, n)
     units = [
         (
             f"refute:{name}:{protocol.name()}:n{n}",
-            SweepUnit(system=layering, model=layering.model, budget=budget),
+            SweepUnit(
+                system=layering,
+                model=layering.model,
+                budget=budget,
+                cache=cache,
+            ),
         )
         for name, layering in layerings.items()
     ]
@@ -158,6 +170,7 @@ def forever_bivalent_run(
     layering,
     max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
     value_domain=(0, 1),
+    cache: CacheSpec = True,
 ) -> tuple[RunWitness, ValenceAnalyzer]:
     """Theorem 4.2's construction: the infinite bivalent run, as a lasso.
 
@@ -179,7 +192,7 @@ def forever_bivalent_run(
     # Strict: the bivalent walk *acts* on valence verdicts — extending a
     # run along a state misclassified univalent-by-truncation would build
     # an invalid proof object, so degradation is not sound here.
-    analyzer = ValenceAnalyzer(layering, max_states, strict=True)
+    analyzer = ValenceAnalyzer(layering, max_states, strict=True, cache=cache)
     initial_states = layering.model.initial_states(value_domain)
     start = lemma_3_6(initial_states, layering, analyzer)
     lasso = build_bivalent_lasso(layering, analyzer, start)
@@ -187,11 +200,16 @@ def forever_bivalent_run(
 
 
 def corollary_5_2(
-    protocol, n: int, max_states: Union[int, Budget] = DEFAULT_MAX_STATES
+    protocol,
+    n: int,
+    max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
+    cache: CacheSpec = True,
 ) -> Refutation:
     """Corollary 5.2: consensus unsolvable under a single mobile failure."""
     layering = S1MobileLayering(MobileModel(protocol, n))
-    report = ConsensusChecker(layering, max_states).check_all(layering.model)
+    report = ConsensusChecker(layering, max_states, cache=cache).check_all(
+        layering.model
+    )
     return Refutation("s1-mobile", protocol.name(), report)
 
 
@@ -199,18 +217,26 @@ def corollary_5_4(
     protocol: DualProtocol,
     n: int,
     max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
+    cache: CacheSpec = True,
 ) -> Refutation:
     """Corollary 5.4: consensus unsolvable 1-resiliently in r/w shared
     memory — in fact already in the barely-asynchronous ``S^rw`` submodel."""
     layering = SynchronicRWLayering(SharedMemoryModel(protocol, n))
-    report = ConsensusChecker(layering, max_states).check_all(layering.model)
+    report = ConsensusChecker(layering, max_states, cache=cache).check_all(
+        layering.model
+    )
     return Refutation("synchronic-rw", protocol.name(), report)
 
 
 def permutation_impossibility(
-    protocol, n: int, max_states: Union[int, Budget] = DEFAULT_MAX_STATES
+    protocol,
+    n: int,
+    max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
+    cache: CacheSpec = True,
 ) -> Refutation:
     """The FLP-style impossibility via the permutation layering."""
     layering = PermutationLayering(AsyncMessagePassingModel(protocol, n))
-    report = ConsensusChecker(layering, max_states).check_all(layering.model)
+    report = ConsensusChecker(layering, max_states, cache=cache).check_all(
+        layering.model
+    )
     return Refutation("permutation-mp", protocol.name(), report)

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
+from repro.core.cache import CacheSpec
 from repro.core.similarity import is_similarity_connected
 from repro.core.state import GlobalState
 from repro.protocols.candidates import QuorumDecide
@@ -93,7 +94,7 @@ def _matrix_unit(payload: tuple) -> MatrixEntry:
     catalogs inside the worker, so nothing unpicklable (the catalog
     lambdas) ever crosses the process boundary.
     """
-    name, n, max_input_set_size, budget = payload
+    name, n, max_input_set_size, budget, cache = payload
     problem = CATALOG[name](n)
     solver_factory = SOLVERS.get(name)
     solver = solver_factory() if solver_factory else None
@@ -102,11 +103,14 @@ def _matrix_unit(payload: tuple) -> MatrixEntry:
         solver,
         max_input_set_size=max_input_set_size,
         max_states=budget,
+        cache=cache,
     )
     defeats = None
     candidate_factory = CANDIDATES.get(name)
     if candidate_factory is not None:
-        defeats = defeat_in_every_model(problem, candidate_factory(n), budget)
+        defeats = defeat_in_every_model(
+            problem, candidate_factory(n), budget, cache=cache
+        )
     return MatrixEntry(
         row=row,
         expected_solvable=EXPECTED_SOLVABLE[name],
@@ -121,6 +125,7 @@ def solvability_matrix(
     max_input_set_size: Optional[int] = 3,
     workers: Optional[int] = None,
     pool: Optional[PoolConfig] = None,
+    cache: CacheSpec = True,
 ) -> dict[str, MatrixEntry]:
     """Experiment E7: the task × model solvability matrix.
 
@@ -128,14 +133,16 @@ def solvability_matrix(
     process and merged back in task order — entries are identical to the
     sequential run's; a task whose worker crashes repeatedly appears as
     a quarantined entry (``error`` set, counted as not matching) rather
-    than aborting the matrix.
+    than aborting the matrix.  ``cache`` (default on) memoizes system
+    queries per task unit; entries are identical either way.
     """
     import dataclasses
 
     budget = Budget.of(max_states)
     names = list(tasks or sorted(CATALOG))
     units = [
-        (name, (name, n, max_input_set_size, budget)) for name in names
+        (name, (name, n, max_input_set_size, budget, cache))
+        for name in names
     ]
     if workers is not None and workers > 1 and len(units) > 1:
         config = pool or PoolConfig()

@@ -27,6 +27,7 @@ from typing import Optional, Union
 
 from repro.analysis.lemmas import LemmaReport
 from repro.core.bivalence import bivalent_successor
+from repro.core.cache import CacheSpec
 from repro.core.checker import (
     ConsensusChecker,
     ConsensusReport,
@@ -111,6 +112,7 @@ def defeat_fast_candidates(
     workers: Optional[int] = None,
     pool: Optional[PoolConfig] = None,
     on_unit=None,
+    cache: CacheSpec = True,
 ) -> list[LowerBoundRow]:
     """Defeat every shipped candidate deciding within ``t`` rounds.
 
@@ -135,7 +137,7 @@ def defeat_fast_candidates(
                 (
                     protocol.name(),
                     f"defeat:{protocol.name()}:n{n}:t{t}",
-                    SweepUnit(layering, layering.model, budget),
+                    SweepUnit(layering, layering.model, budget, cache=cache),
                     n,
                     t,
                     rounds,
@@ -154,6 +156,7 @@ def verify_tight_protocols(
     workers: Optional[int] = None,
     pool: Optional[PoolConfig] = None,
     on_unit=None,
+    cache: CacheSpec = True,
 ) -> list[LowerBoundRow]:
     """Verify FloodSet/EIG at ``t+1`` rounds — the bound is tight.
 
@@ -170,7 +173,7 @@ def verify_tight_protocols(
             (
                 f"{protocol.name()} [S^t]",
                 f"tight:st:{protocol.name()}:n{n}:t{t}",
-                SweepUnit(layering, layering.model, budget),
+                SweepUnit(layering, layering.model, budget, cache=cache),
                 n,
                 t,
                 t + 1,
@@ -184,7 +187,7 @@ def verify_tight_protocols(
                 (
                     f"{protocol.name()} [full sync]",
                     f"tight:full:{protocol.name()}:n{n}:t{t}",
-                    SweepUnit(model, model, budget),
+                    SweepUnit(model, model, budget, cache=cache),
                     n,
                     t,
                     t + 1,

@@ -38,6 +38,16 @@ Parallel execution (``lower-bound``, ``impossibility``, ``solvability``):
   ``--max-retries K`` bounds the retries before quarantine.
 * With ``--checkpoint``, completed units are saved as workers finish,
   so an interruption loses at most the in-flight units.
+
+Memoization (:mod:`repro.core.cache`):
+
+* ``--cache`` (the default) wraps each verification unit's system in a
+  :class:`~repro.core.cache.CachedSystem`, memoizing successor, failure
+  and decision queries with hash-consed states; ``--no-cache`` disables
+  it.  Verdicts and witnesses are identical either way — the cache only
+  changes wall-clock time.
+* Sequential runs end with a one-line ``cache:`` summary on stderr
+  (hits, misses, interned states, rough byte footprint).
 """
 
 from __future__ import annotations
@@ -46,6 +56,7 @@ import argparse
 import sys
 
 from repro.analysis.reports import render_table, render_verdict_rows
+from repro.core.cache import aggregate_stats
 from repro.core.valence import ExplorationLimitExceeded
 from repro.resilience.budget import Budget
 from repro.resilience.checkpoint import (
@@ -100,6 +111,21 @@ def _autosave(args: argparse.Namespace):
     return save
 
 
+def _print_cache_stats(args: argparse.Namespace) -> None:
+    """One stderr line summarizing memoization-cache effectiveness.
+
+    Aggregates every cache created in *this* process
+    (:func:`repro.core.cache.aggregate_stats`); with ``--workers`` the
+    per-unit caches live and die inside the worker processes, so a
+    parallel run legitimately reports nothing here.
+    """
+    if not getattr(args, "cache", True):
+        return
+    stats = aggregate_stats()
+    if stats.hits or stats.misses:
+        print(f"cache: {stats.describe()}", file=sys.stderr)
+
+
 def _finish_inconclusive(args: argparse.Namespace, report) -> int:
     """Shared tail for a budget-exhausted (or interrupted) campaign unit:
     one-line diagnostic, optional checkpoint, distinct exit code."""
@@ -134,6 +160,7 @@ def _cmd_lower_bound(args: argparse.Namespace) -> int:
         workers=args.workers,
         pool=args.pool,
         on_unit=_autosave(args),
+        cache=args.cache,
     )
     verified = []
     if not any(r.inconclusive for r in defeated):
@@ -146,6 +173,7 @@ def _cmd_lower_bound(args: argparse.Namespace) -> int:
             workers=args.workers,
             pool=args.pool,
             on_unit=_autosave(args),
+            cache=args.cache,
         )
     rows = defeated + verified
     print(render_verdict_rows(rows))
@@ -196,6 +224,7 @@ def _cmd_impossibility(args: argparse.Namespace) -> int:
         workers=args.workers,
         pool=args.pool,
         on_unit=_autosave(args),
+        cache=args.cache,
     )
     if args.model != "all":
         refutations = [
@@ -244,6 +273,7 @@ def _cmd_solvability(args: argparse.Namespace) -> int:
         max_states=args.budget,
         workers=args.workers,
         pool=args.pool,
+        cache=args.cache,
     )
     rows = []
     ok = True
@@ -283,7 +313,9 @@ def _cmd_lemmas(args: argparse.Namespace) -> int:
     layering = S1MobileLayering(MobileModel(FloodSet(2), args.n))
     # Strict: the lemma walks act on valence verdicts, so a truncated
     # valence must abort (caught at top level as inconclusive).
-    analyzer = ValenceAnalyzer(layering, args.budget, strict=True)
+    analyzer = ValenceAnalyzer(
+        layering, args.budget, strict=True, cache=args.cache
+    )
     initials = layering.model.initial_states((0, 1))
     print(f"== Executable lemmas over S_1/M^mf (n={args.n}) ==\n")
     reports = [lemma_3_6_report(layering, analyzer, initials)]
@@ -301,12 +333,14 @@ def _cmd_lemmas(args: argparse.Namespace) -> int:
 
 def _cmd_diameter(args: argparse.Namespace) -> int:
     from repro.analysis.solvability_experiments import diameter_table
+    from repro.core.cache import resolve_cache
     from repro.layerings.s1_mobile import S1MobileLayering
     from repro.models.mobile import MobileModel
     from repro.protocols.floodset import FloodSet
 
-    layering = S1MobileLayering(
-        MobileModel(FloodSet(args.rounds + 1), args.n)
+    layering = resolve_cache(
+        S1MobileLayering(MobileModel(FloodSet(args.rounds + 1), args.n)),
+        args.cache,
     )
     initials = layering.model.initial_states((0, 1))
     print(
@@ -399,6 +433,13 @@ def _add_budget_flags(parser, suppress: bool = False) -> None:
         metavar="K",
         help="retries before a crashing parallel unit is quarantined",
     )
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=default(True),
+        help="memoize successor/failure/decision queries per verification "
+        "unit (verdicts are identical either way; --no-cache disables)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -479,7 +520,9 @@ def main(argv: list[str] | None = None) -> int:
     elif args.checkpoint:
         args.campaign = CampaignCheckpoint()
     try:
-        return args.func(args)
+        code = args.func(args)
+        _print_cache_stats(args)
+        return code
     except ExplorationLimitExceeded as exc:
         print(f"inconclusive: {exc}", file=sys.stderr)
         print(

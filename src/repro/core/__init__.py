@@ -6,6 +6,13 @@ the exhaustive consensus checker.  Concrete models plug in underneath
 (:mod:`repro.models`), layerings on top (:mod:`repro.layerings`).
 """
 
+from repro.core.cache import (
+    CachedSystem,
+    CacheStats,
+    aggregate_stats,
+    merge_cache_stats,
+    resolve_cache,
+)
 from repro.core.bivalence import (
     BivalenceStep,
     NoBivalentSuccessor,
@@ -54,6 +61,8 @@ from repro.core.valence import (
 
 __all__ = [
     "BivalenceStep",
+    "CacheStats",
+    "CachedSystem",
     "ConsensusChecker",
     "ConsensusReport",
     "ExplorationLimitExceeded",
@@ -65,6 +74,7 @@ __all__ = [
     "ValenceAnalyzer",
     "ValenceResult",
     "Verdict",
+    "aggregate_stats",
     "agree_modulo",
     "agree_modulo_refined",
     "agreement_witnesses",
@@ -84,9 +94,11 @@ __all__ = [
     "lemma_3_4",
     "lemma_3_5",
     "lemma_3_6",
+    "merge_cache_stats",
     "paste",
     "pasting_violations",
     "reachable_states",
+    "resolve_cache",
     "s_diameter",
     "shared_valence",
     "similar",

@@ -162,6 +162,14 @@ class ConsensusChecker:
             :class:`ExplorationLimitExceeded` as it historically did;
             by default it degrades to an ``UNKNOWN`` report carrying
             statistics and a resumable checkpoint.
+        cache: memoize the successor system (see
+            :func:`repro.core.cache.resolve_cache`): ``True`` for an
+            unbounded cache shared across every assignment this checker
+            sweeps, an int for an LRU bound, or a prebuilt
+            :class:`~repro.core.cache.CachedSystem` shared with other
+            engines.  Verdicts, witnesses and checkpoints are identical
+            either way; in a parallel ``check_all`` each worker warms its
+            own cache (caches never cross processes).
     """
 
     def __init__(
@@ -169,8 +177,11 @@ class ConsensusChecker:
         system,
         max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
         strict: bool = False,
+        cache=None,
     ) -> None:
-        self._system = system
+        from repro.core.cache import resolve_cache
+
+        self._system = resolve_cache(system, cache)
         self._budget = Budget.of(max_states)
         self._strict = strict
 
@@ -178,6 +189,14 @@ class ConsensusChecker:
     def budget(self) -> Budget:
         """The budget charged per input assignment."""
         return self._budget
+
+    def cache_stats(self):
+        """The cache's counters (``None`` when running uncached)."""
+        from repro.core.cache import CachedSystem
+
+        if isinstance(self._system, CachedSystem):
+            return self._system.stats()
+        return None
 
     def check(
         self,
@@ -743,20 +762,24 @@ class SweepUnit:
     are usually ``layering`` and ``layering.model`` but may coincide
     (the full synchronous model checks itself).  *resume* carries the
     in-flight :class:`~repro.resilience.CheckAllCheckpoint` when a
-    campaign is resumed.
+    campaign is resumed.  *cache* is the checker's ``cache=`` spec; a
+    ``CachedSystem`` passed here (or as *system*) ships only its
+    configuration across the process boundary, so each pool worker warms
+    one private cache per unit — preserving the deterministic merge.
     """
 
     system: object
     model: object
     budget: Budget
     resume: Optional[CheckAllCheckpoint] = None
+    cache: object = None
 
 
 def run_sweep_unit(unit: SweepUnit) -> ConsensusReport:
     """Pool unit function for campaign drivers: one exhaustive sweep."""
-    return ConsensusChecker(unit.system, unit.budget).check_all(
-        unit.model, checkpoint=unit.resume
-    )
+    return ConsensusChecker(
+        unit.system, unit.budget, cache=unit.cache
+    ).check_all(unit.model, checkpoint=unit.resume)
 
 
 def run_campaign(

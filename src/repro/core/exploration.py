@@ -25,10 +25,15 @@ from collections.abc import Iterable
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
+from repro.core.cache import CacheSpec, CacheStats, CachedSystem, resolve_cache
 from repro.core.state import GlobalState
 from repro.core.valence import ExplorationLimitExceeded
 from repro.resilience.budget import Budget, DEFAULT_MAX_STATES
-from repro.resilience.pool import PoolConfig, run_units
+from repro.resilience.pool import (
+    PoolConfig,
+    exception_category,
+    run_units,
+)
 
 
 @dataclass
@@ -45,11 +50,18 @@ class ExplorationStats:
     complete: bool = True
     limit: Optional[str] = None
     seconds: float = 0.0
+    cache_stats: Optional[CacheStats] = None
 
     @property
     def sharing_ratio(self) -> float:
         """Fraction of generated successors that were already known —
-        how much the DAG structure collapses the naive schedule tree."""
+        how much the DAG structure collapses the naive schedule tree.
+
+        ``edges`` counts every generated ``(action, child)`` pair —
+        matching what :func:`reachable_states` charges its budget — so
+        two layer actions leading to the same child count as two
+        generated successors, one of which is a duplicate hit.
+        """
         if self.edges == 0:
             return 0.0
         return self.duplicate_hits / self.edges
@@ -64,9 +76,10 @@ class ExplorationStats:
 
 def _reachable_shard(payload) -> dict:
     """Pool unit: BFS one shard of the root frontier (worker process)."""
-    system, roots, max_depth, budget, strict = payload
+    system, roots, max_depth, budget, strict, cache = payload
     return reachable_states(
-        system, roots, max_depth=max_depth, max_states=budget, strict=strict
+        system, roots, max_depth=max_depth, max_states=budget,
+        strict=strict, cache=cache,
     )
 
 
@@ -78,6 +91,7 @@ def reachable_states_parallel(
     strict: bool = True,
     workers: int = 2,
     pool: Optional[PoolConfig] = None,
+    cache: CacheSpec = None,
 ) -> dict[GlobalState, int]:
     """Frontier-partitioned :func:`reachable_states` over a worker pool.
 
@@ -99,7 +113,7 @@ def reachable_states_parallel(
     if workers <= 1 or len(root_list) < 2:
         return reachable_states(
             system, root_list, max_depth=max_depth,
-            max_states=max_states, strict=strict,
+            max_states=max_states, strict=strict, cache=cache,
         )
     budget = Budget.of(max_states)
     shards: list[list[GlobalState]] = [[] for _ in range(min(workers, len(root_list)))]
@@ -107,7 +121,7 @@ def reachable_states_parallel(
         shards[index % len(shards)].append(root)
     shard_budget = budget.split(len(shards))
     units = [
-        (index, (system, shard, max_depth, shard_budget, strict))
+        (index, (system, shard, max_depth, shard_budget, strict, cache))
         for index, shard in enumerate(shards)
     ]
     config = pool or PoolConfig()
@@ -119,7 +133,14 @@ def reachable_states_parallel(
         outcome = report.outcomes[index]
         if outcome.quarantined:
             cause = outcome.cause()
-            if "ExplorationLimitExceeded" in cause and strict:
+            # Dispatch on the structured exception category the pool
+            # recorded, not on the cause text: messages and reprs may
+            # change, the category is stable.
+            if (
+                outcome.error_category()
+                == exception_category(ExplorationLimitExceeded)
+                and strict
+            ):
                 raise ExplorationLimitExceeded(
                     f"exploration shard {index} exhausted its budget: {cause}"
                 )
@@ -139,6 +160,7 @@ def reachable_states(
     max_depth: int | None = None,
     max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
     strict: bool = True,
+    cache: CacheSpec = None,
 ) -> dict[GlobalState, int]:
     """BFS the reachable set; returns ``{state: first-reached depth}``.
 
@@ -146,22 +168,44 @@ def reachable_states(
     discovered so far instead of raising — callers who opt in must treat
     the result as a lower bound on reachability.  For a worker-pool
     variant sharded over the root frontier see
-    :func:`reachable_states_parallel`.
+    :func:`reachable_states_parallel`.  ``cache`` memoizes the successor
+    function (see :func:`repro.core.cache.resolve_cache`) — the mapping
+    is identical either way.
     """
+    system = resolve_cache(system, cache)
     meter = Budget.of(max_states).meter()
     depth: dict[GlobalState, int] = {}
     queue: deque[GlobalState] = deque()
     for root in roots:
         if root not in depth:
             depth[root] = 0
-            meter.charge_state(root)
+            tripped = meter.charge_state(root)
+            if tripped is not None:
+                # The root frontier alone can exhaust the state budget;
+                # honor the trip instead of silently blowing past it.
+                if strict:
+                    raise ExplorationLimitExceeded(
+                        f"exploration budget exhausted ({tripped}) while "
+                        f"seeding {meter.states} root states"
+                    )
+                return depth
             queue.append(root)
     while queue:
         state = queue.popleft()
         if max_depth is not None and depth[state] >= max_depth:
             continue
         for _, child in system.successors(state):
-            meter.charge_edge()
+            tripped = meter.charge_edge()
+            if tripped is not None:
+                # Honor the trip at the charge site — the every-256-ops
+                # slow check would let a high-degree expansion overshoot
+                # the edge budget by a whole layer.
+                if strict:
+                    raise ExplorationLimitExceeded(
+                        f"exploration budget exhausted ({tripped}) after "
+                        f"{meter.edges} generated edges"
+                    )
+                return depth
             if child not in depth:
                 depth[child] = depth[state] + 1
                 tripped = meter.charge_state(child)
@@ -182,32 +226,44 @@ def explore(
     max_depth: int | None = None,
     max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
     strict: bool = False,
+    cache: CacheSpec = None,
 ) -> ExplorationStats:
     """BFS with full statistics (see :class:`ExplorationStats`).
 
     Budget exhaustion returns the partial statistics with
     ``complete=False`` and the tripped limit named; ``strict=True``
-    raises :class:`ExplorationLimitExceeded` instead.
+    raises :class:`ExplorationLimitExceeded` instead.  ``cache``
+    memoizes the successor function (see
+    :func:`repro.core.cache.resolve_cache`); when enabled, the cache's
+    counters are snapshotted into ``stats.cache_stats``.  All other
+    statistics are identical cached or uncached.
     """
+    system = resolve_cache(system, cache)
     meter = Budget.of(max_states).meter()
     stats = ExplorationStats()
     depth: dict[GlobalState, int] = {}
     queue: deque[GlobalState] = deque()
+    tripped: Optional[str] = None
     for root in roots:
         if root not in depth:
             depth[root] = 0
-            meter.charge_state(root)
+            tripped = meter.charge_state(root)
+            if tripped is not None:
+                # Honor a budget tripped by the root frontier itself.
+                break
             queue.append(root)
     per_depth: dict[int, int] = {0: len(depth)}
     layer_sizes: list[int] = []
-    tripped: Optional[str] = None
     while queue and tripped is None:
         state = queue.popleft()
         if max_depth is not None and depth[state] >= max_depth:
             continue
-        children = {child for _, child in system.successors(state)}
-        layer_sizes.append(len(children))
-        for child in children:
+        pairs = system.successors(state)
+        # The layer size is the number of *distinct* successor states,
+        # but edges count every generated (action, child) pair — the
+        # same accounting reachable_states charges its budget with.
+        layer_sizes.append(len({child for _, child in pairs}))
+        for _, child in pairs:
             stats.edges += 1
             tripped = meter.charge_edge()
             if tripped is not None:
@@ -235,4 +291,6 @@ def explore(
     stats.complete = tripped is None
     stats.limit = tripped
     stats.seconds = meter.elapsed()
+    if isinstance(system, CachedSystem):
+        stats.cache_stats = system.stats()
     return stats

@@ -31,10 +31,21 @@ class GlobalState:
 
     env: Hashable
     locals: tuple[Hashable, ...] = field(default=())
+    _hash: int = field(
+        default=0, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not isinstance(self.locals, tuple):
             object.__setattr__(self, "locals", tuple(self.locals))
+        # States spend their lives as dict keys (visited sets, memo
+        # tables, BFS parents); a state is hashed many more times than it
+        # is built, so the hash is computed once here.  Excluded from
+        # __eq__ (compare=False), so equality is still structural.
+        object.__setattr__(self, "_hash", hash((self.env, self.locals)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def n(self) -> int:

@@ -143,6 +143,12 @@ class ValenceAnalyzer:
             (the bivalence walks, the lemma drivers) passes
             ``strict=True`` because acting on a partial valence there
             would be unsound.
+        cache: memoize the successor system (see
+            :func:`repro.core.cache.resolve_cache`): ``True`` for an
+            unbounded cache, an int for an LRU bound, or a prebuilt
+            :class:`~repro.core.cache.CachedSystem` shared with other
+            engines analyzing the same system.  Results are identical
+            either way.
     """
 
     def __init__(
@@ -150,8 +156,11 @@ class ValenceAnalyzer:
         system,
         max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
         strict: bool = False,
+        cache=None,
     ) -> None:
-        self._system = system
+        from repro.core.cache import resolve_cache
+
+        self._system = resolve_cache(system, cache)
         self._budget = Budget.of(max_states)
         self._meter = self._budget.meter()
         self._strict = strict
@@ -251,7 +260,13 @@ class ValenceAnalyzer:
             children = []
             child_seen = set()
             for _, child in self._system.successors(state):
-                meter.charge_edge()
+                tripped = meter.charge_edge()
+                if tripped is not None:
+                    # Propagate the trip at the charge site: waiting for
+                    # the every-256-states poll would let a single
+                    # high-degree expansion overshoot the edge budget by
+                    # an entire layer.
+                    return succ, tripped, seen
                 if child not in child_seen:
                     child_seen.add(child)
                     children.append(child)

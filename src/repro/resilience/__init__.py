@@ -51,6 +51,7 @@ from repro.resilience.pool import (
     PoolFault,
     PoolReport,
     UnitOutcome,
+    exception_category,
     pool_config_for,
     run_units,
 )
@@ -78,6 +79,7 @@ __all__ = [
     "PoolFault",
     "PoolReport",
     "UnitOutcome",
+    "exception_category",
     "load_checkpoint",
     "merge_stats",
     "pool_config_for",

@@ -61,6 +61,10 @@ def system_fingerprint(system) -> str:
     the bound protocol's report name — enough to catch resuming against
     the wrong protocol/model pairing without serializing the objects.
     """
+    # A memoizing wrapper (repro.core.cache.CachedSystem) is transparent:
+    # cached and uncached runs of the same system must produce
+    # interchangeable checkpoints, so fingerprint what it wraps.
+    system = getattr(system, "uncached", system)
     parts = [type(system).__name__]
     n = getattr(system, "n", None)
     if n is not None:

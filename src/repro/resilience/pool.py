@@ -65,6 +65,19 @@ FAULT_STALL = "heartbeat-stall"      # heartbeats stopped; worker killed
 FAULT_ERROR = "unit-exception"       # unit function raised
 
 
+def exception_category(exc: "BaseException | type") -> str:
+    """The structured category of an exception (or exception class).
+
+    The fully qualified class name: stable across message changes and
+    ``repr`` formatting, so callers dispatch on it instead of
+    substring-matching fault text (which broke the moment a message was
+    reworded).  Recorded per failed attempt in :class:`PoolFault.category`
+    and surfaced via :meth:`UnitOutcome.error_category`.
+    """
+    cls = exc if isinstance(exc, type) else type(exc)
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
 @dataclass(frozen=True)
 class PoolConfig:
     """Tuning knobs for a fault-isolated worker pool.
@@ -101,12 +114,19 @@ class PoolConfig:
 
 @dataclass(frozen=True)
 class PoolFault:
-    """One failed attempt of one unit — the pool's fault log entry."""
+    """One failed attempt of one unit — the pool's fault log entry.
+
+    ``category`` is the structured exception category
+    (:func:`exception_category`) for :data:`FAULT_ERROR` faults, and
+    ``None`` for process-level faults (crash, timeout, stall), which have
+    no exception object.
+    """
 
     key: Any
     attempt: int
     kind: str
     detail: str
+    category: Optional[str] = None
 
     def describe(self) -> str:
         return f"attempt {self.attempt} of unit {self.key!r}: {self.kind} ({self.detail})"
@@ -148,6 +168,18 @@ class UnitOutcome:
         last = self.faults[-1]
         first_line = last.detail.strip().splitlines()[-1] if last.detail else ""
         return f"{last.kind} after {self.attempts} attempts: {first_line}"
+
+    def error_category(self) -> Optional[str]:
+        """The structured exception category of the final fault, if any.
+
+        ``None`` when the unit succeeded, or when the final fault was a
+        process-level one (crash/timeout/stall) rather than a raised
+        exception.  Callers dispatch on this — never on the text of
+        :meth:`cause`.
+        """
+        if not self.faults:
+            return None
+        return self.faults[-1].category
 
 
 @dataclass(frozen=True)
@@ -257,10 +289,18 @@ def _worker_main(worker_id, task_queue, result_conn, fn, heartbeat_interval):
             value = fn(payload)
         except KeyboardInterrupt:
             return
-        except BaseException:
+        except BaseException as exc:
             stop.set()
             beat.join()
-            send(("error", worker_id, key, attempt, traceback.format_exc()))
+            send(
+                (
+                    "error",
+                    worker_id,
+                    key,
+                    attempt,
+                    (exception_category(exc), traceback.format_exc()),
+                )
+            )
         else:
             stop.set()
             beat.join()
@@ -485,7 +525,10 @@ class _Supervisor:
         if kind == "done":
             self._finish(key, attempt, body)
         elif kind == "error":
-            self._attempt_failed(key, attempt, FAULT_ERROR, body)
+            category, detail = body
+            self._attempt_failed(
+                key, attempt, FAULT_ERROR, detail, category=category
+            )
 
     def _check_health(self) -> None:
         config = self._config
@@ -555,8 +598,13 @@ class _Supervisor:
         if self._on_complete is not None:
             self._on_complete(outcome)
 
-    def _attempt_failed(self, key, attempt, kind, detail) -> None:
-        fault = PoolFault(key=key, attempt=attempt, kind=kind, detail=detail)
+    def _attempt_failed(
+        self, key, attempt, kind, detail, category=None
+    ) -> None:
+        fault = PoolFault(
+            key=key, attempt=attempt, kind=kind, detail=detail,
+            category=category,
+        )
         self._faults.append(fault)
         self._unit_faults[key].append(fault)
         config = self._config
@@ -616,12 +664,13 @@ def _run_serial(fn, units, config, on_complete) -> PoolReport:
                 value = fn(payload)
             except KeyboardInterrupt:
                 raise
-            except Exception:
+            except Exception as exc:
                 fault = PoolFault(
                     key=key,
                     attempt=attempt,
                     kind=FAULT_ERROR,
                     detail=traceback.format_exc(),
+                    category=exception_category(exc),
                 )
                 faults.append(fault)
                 unit_faults.append(fault)

@@ -25,6 +25,7 @@ from collections.abc import Hashable
 from dataclasses import dataclass
 from typing import Optional, Union
 
+from repro.core.cache import CacheSpec, resolve_cache
 from repro.core.checker import ConsensusChecker, Verdict
 from repro.core.run import Execution
 from repro.core.state import GlobalState
@@ -63,6 +64,10 @@ class TaskChecker:
     :class:`~repro.core.valence.ExplorationLimitExceeded` (the
     solvability drivers interpret a SATISFIED report as a solvability
     claim, which a silently truncated search cannot support).
+
+    ``cache`` memoizes the system's successor/failure/decision queries
+    (see :func:`repro.core.cache.resolve_cache`); reports are identical
+    cached or uncached.
     """
 
     def __init__(
@@ -70,8 +75,9 @@ class TaskChecker:
         system,
         problem: DecisionProblem,
         max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
+        cache: CacheSpec = None,
     ) -> None:
-        self._system = system
+        self._system = resolve_cache(system, cache)
         self._problem = problem
         self._budget = Budget.of(max_states)
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
+from repro.core.cache import CacheSpec
 from repro.core.checker import Verdict
 from repro.layerings.permutation import PermutationLayering
 from repro.layerings.synchronic_mp import SynchronicMPLayering
@@ -101,13 +102,17 @@ def verify_protocol_solves(
     protocol: DualProtocol,
     max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
     models: Optional[dict] = None,
+    cache: CacheSpec = True,
 ) -> dict[str, TaskReport]:
     """Exhaustively check a protocol against a task in each 1-resilient
-    layered submodel; returns the per-model reports."""
+    layered submodel; returns the per-model reports.
+
+    Each model gets its own memoization cache (``cache=False`` disables,
+    an int bounds it); reports are identical either way."""
     systems = models or one_resilient_layerings(protocol, problem.n)
     reports = {}
     for name, layering in systems.items():
-        checker = TaskChecker(layering, problem, max_states)
+        checker = TaskChecker(layering, problem, max_states, cache=cache)
         reports[name] = checker.check_all(layering.model)
     return reports
 
@@ -118,6 +123,7 @@ def corollary_7_3_row(
     max_subproblems: int = 4096,
     max_input_set_size: Optional[int] = None,
     max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
+    cache: CacheSpec = True,
 ) -> SolvabilityRow:
     """One task's row of the solvability matrix (see module docstring)."""
     thick = problem_is_k_thick_connected(
@@ -129,7 +135,9 @@ def corollary_7_3_row(
     reports: dict[str, Optional[TaskReport]] = {}
     if solver is not None:
         reports = dict(
-            verify_protocol_solves(problem, solver, max_states=max_states)
+            verify_protocol_solves(
+                problem, solver, max_states=max_states, cache=cache
+            )
         )
     return SolvabilityRow(
         task=problem.name, thick_connected=thick, reports=reports
@@ -140,11 +148,12 @@ def defeat_in_every_model(
     problem: DecisionProblem,
     candidate: DualProtocol,
     max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
+    cache: CacheSpec = True,
 ) -> dict[str, TaskReport]:
     """Run a candidate for an *unsolvable* task through every submodel and
     return the per-model defeat reports (none may be SATISFIED — that is
     what the callers assert, mirroring Theorem 7.2's contrapositive)."""
-    reports = verify_protocol_solves(problem, candidate, max_states)
+    reports = verify_protocol_solves(problem, candidate, max_states, cache=cache)
     return reports
 
 

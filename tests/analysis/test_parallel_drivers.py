@@ -17,8 +17,30 @@ from repro.analysis.sync_lower_bound import (
 )
 from repro.cli import EXIT_INCONCLUSIVE, EXIT_OK, main
 from repro.core.exploration import reachable_states, reachable_states_parallel
+from repro.core.state import GlobalState
+from repro.core.valence import ExplorationLimitExceeded
 from repro.protocols.candidates import QuorumDecide
+from repro.resilience.budget import Budget
 from repro.resilience.checkpoint import CampaignCheckpoint
+from repro.resilience.pool import PoolConfig
+
+
+class _LookalikeRaiser:
+    """A picklable system whose expansion fails with an error message
+    that *mentions* ExplorationLimitExceeded without being one."""
+
+    n = 2
+
+    def successors(self, state):
+        raise ValueError(
+            "not a budget trip, despite saying ExplorationLimitExceeded"
+        )
+
+    def failed_at(self, state):
+        return frozenset()
+
+    def decisions(self, state):
+        return {}
 
 
 def _rows_equal(parallel_rows, sequential_rows):
@@ -123,6 +145,34 @@ class TestParallelExploration:
             st_floodset_tight, roots, max_depth=1, workers=2
         )
         assert parallel == sequential
+
+
+class TestQuarantineDispatch:
+    """The supervisor tells budget trips from genuine faults by the
+    structured exception category the pool records — not by searching
+    the quarantine cause text (regression: any error message mentioning
+    ``ExplorationLimitExceeded`` used to masquerade as a budget trip)."""
+
+    POOL = PoolConfig(workers=2, max_retries=0, retry_backoff=0.01)
+
+    def test_shard_budget_trip_raises_limit_exceeded(self, st_floodset_tight):
+        roots = st_floodset_tight.model.initial_states((0, 1))
+        with pytest.raises(ExplorationLimitExceeded, match="shard"):
+            reachable_states_parallel(
+                st_floodset_tight,
+                roots,
+                max_states=Budget(max_states=2),
+                workers=2,
+                pool=self.POOL,
+            )
+
+    def test_lookalike_error_is_not_a_budget_trip(self):
+        system = _LookalikeRaiser()
+        roots = [GlobalState("toy", ("a", "a")), GlobalState("toy", ("b", "b"))]
+        with pytest.raises(RuntimeError, match="quarantined"):
+            reachable_states_parallel(
+                system, roots, workers=2, pool=self.POOL
+            )
 
 
 class TestCLIWorkers:

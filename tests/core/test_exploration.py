@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.exploration import explore, reachable_states
 from repro.core.valence import ExplorationLimitExceeded
+from repro.resilience.budget import Budget
 from tests.conftest import ToySystem
 
 
@@ -75,3 +76,106 @@ class TestExplore:
         assert stats.states > 1
         # S_1 has n(n+1) = 12 actions but duplicates collapse
         assert stats.max_layer_size <= 12
+
+
+class TestEdgeAccounting:
+    """``stats.edges`` counts generated (action, child) pairs — the same
+    accounting ``reachable_states`` charges its budget with.  Regression:
+    ``explore`` used to count only *distinct* children per expansion, so
+    its edge numbers (and E9's sharing_ratio) disagreed with the budget
+    charged for the identical walk."""
+
+    def _fanin(self):
+        # x reaches a twice through different actions: 2 generated pairs,
+        # 1 distinct child.  Self-loops keep the successor function total.
+        return ToySystem(
+            edges={
+                "x": [("l", "a"), ("r", "a"), ("m", "b")],
+                "a": [("s", "a")],
+                "b": [("s", "b")],
+            }
+        )
+
+    def test_duplicate_actions_counted_per_pair(self):
+        sys = self._fanin()
+        stats = explore(sys, [sys.state("x")])
+        # x generates 3 pairs, a and b one self-loop each.
+        assert stats.edges == 5
+        # (r, a) is a duplicate pair, and both self-loops re-hit their
+        # origin: 3 of the 5 generated successors were already known.
+        assert stats.duplicate_hits == 3
+
+    def test_edge_budget_agrees_with_reachable_states(self):
+        sys = self._fanin()
+        roots = [sys.state("x")]
+        stats = explore(sys, roots)
+        # The identical walk fits a budget of exactly stats.edges ...
+        depths = reachable_states(
+            sys, roots, max_states=Budget(max_edges=stats.edges)
+        )
+        assert len(depths) == stats.states
+        # ... and trips one edge below it, in both engines.
+        short = Budget(max_edges=stats.edges - 1)
+        with pytest.raises(ExplorationLimitExceeded):
+            reachable_states(sys, roots, max_states=short)
+        clipped = explore(sys, roots, max_states=short)
+        assert not clipped.complete and clipped.limit == "edges"
+
+    def test_reachable_states_edge_trip_nonstrict_partial(self):
+        sys = self._fanin()
+        depths = reachable_states(
+            sys,
+            [sys.state("x")],
+            max_states=Budget(max_edges=1),
+            strict=False,
+        )
+        assert sys.state("x") in depths  # partial map, not an exception
+
+
+class TestRootFrontierBudget:
+    """Seeding the root frontier charges the state budget like any other
+    discovery.  Regression: both explorers used to discard the
+    ``charge_state`` return for roots, so a root set larger than the
+    state budget blew straight past it."""
+
+    def _roots(self, chain_system):
+        return [chain_system.state(f"s{i}") for i in range(6)]
+
+    def test_reachable_states_strict_raises_while_seeding(self, chain_system):
+        with pytest.raises(ExplorationLimitExceeded, match="seeding"):
+            reachable_states(
+                chain_system,
+                self._roots(chain_system),
+                max_states=Budget(max_states=3),
+            )
+
+    def test_reachable_states_nonstrict_returns_partial_roots(
+        self, chain_system
+    ):
+        depths = reachable_states(
+            chain_system,
+            self._roots(chain_system),
+            max_states=Budget(max_states=3),
+            strict=False,
+        )
+        # The trip fires on the charge that exceeds the budget; nothing
+        # beyond the root frontier is explored.
+        assert len(depths) == 4
+        assert all(d == 0 for d in depths.values())
+
+    def test_explore_root_frontier_trips(self, chain_system):
+        roots = self._roots(chain_system)
+        stats = explore(
+            chain_system, roots, max_states=Budget(max_states=3)
+        )
+        assert not stats.complete
+        assert stats.limit == "states"
+        assert stats.states == 4
+        assert stats.edges == 0  # stopped before expanding anything
+        with pytest.raises(ExplorationLimitExceeded):
+            explore(
+                chain_system,
+                roots,
+                max_states=Budget(max_states=3),
+                strict=True,
+            )

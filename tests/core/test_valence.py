@@ -7,6 +7,7 @@ from repro.core.valence import (
     ValenceAnalyzer,
     ValenceResult,
 )
+from repro.resilience.budget import Budget
 from tests.conftest import ToySystem
 
 
@@ -162,3 +163,43 @@ class TestLimits:
         r1 = an.valence(toy_diamond.state("a"))
         r2 = an.valence(toy_diamond.state("x"))
         assert r1.values < r2.values
+
+
+class TestEdgeBudget:
+    """The edge budget must trip *inside* one state's expansion.
+
+    Regression: ``_explore`` discarded the ``charge_edge`` return, so a
+    single high-degree state (degree far below the 256-op slow-check
+    period) could generate arbitrarily many successors past an exhausted
+    edge budget — on a small system the trip never fired at all.
+    """
+
+    def _wide_system(self, fanout: int = 40) -> ToySystem:
+        edges = {"x": [(f"a{i}", f"c{i}") for i in range(fanout)]}
+        decisions = {}
+        for i in range(fanout):
+            edges[f"c{i}"] = [("s", f"c{i}")]
+            decisions[f"c{i}"] = {0: 0, 1: 0}
+        return ToySystem(edges=edges, decisions=decisions)
+
+    def test_strict_raises_within_one_expansion(self):
+        sys = self._wide_system()
+        an = ValenceAnalyzer(
+            sys, max_states=Budget(max_edges=10), strict=True
+        )
+        with pytest.raises(ExplorationLimitExceeded, match="edges"):
+            an.valence(sys.state("x"))
+
+    def test_graceful_incomplete_within_one_expansion(self):
+        sys = self._wide_system()
+        an = ValenceAnalyzer(sys, max_states=Budget(max_edges=10))
+        result = an.valence(sys.state("x"))
+        assert not result.complete
+
+    def test_roomy_edge_budget_unaffected(self):
+        sys = self._wide_system()
+        an = ValenceAnalyzer(
+            sys, max_states=Budget(max_edges=10_000), strict=True
+        )
+        result = an.valence(sys.state("x"))
+        assert result.complete and result.values == frozenset({0})

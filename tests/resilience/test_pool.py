@@ -195,3 +195,51 @@ class TestConfig:
         )
         text = report.describe()
         assert "quarantined" in text and "faults" in text
+
+
+class TestStructuredCategories:
+    """Faults carry the raising exception's fully qualified class name.
+
+    Regression: callers used to substring-match the traceback text in
+    ``cause()`` to tell budget exhaustion from genuine crashes, which any
+    message mentioning an exception name could spoof.
+    """
+
+    def test_helper_accepts_instances_and_classes(self):
+        from repro.core.valence import ExplorationLimitExceeded
+        from repro.resilience.pool import exception_category
+
+        assert exception_category(ValueError("x")) == "builtins.ValueError"
+        assert exception_category(ValueError) == "builtins.ValueError"
+        assert (
+            exception_category(ExplorationLimitExceeded)
+            == "repro.core.valence.ExplorationLimitExceeded"
+        )
+
+    def test_parallel_error_outcome_carries_category(self):
+        report = run_units(
+            _always_raise, [("bad", 1)], PoolConfig(workers=2, max_retries=0)
+        )
+        bad = report.outcomes["bad"]
+        assert bad.error_category() == "builtins.RuntimeError"
+        assert all(f.category == "builtins.RuntimeError" for f in bad.faults)
+
+    def test_serial_error_outcome_carries_category(self):
+        report = run_units(
+            _always_raise, [("bad", 1)], PoolConfig(workers=1, max_retries=0)
+        )
+        assert report.outcomes["bad"].error_category() == "builtins.RuntimeError"
+
+    def test_success_has_no_category(self):
+        report = run_units(_square, [("ok", 3)], PoolConfig(workers=2))
+        assert report.outcomes["ok"].error_category() is None
+
+    def test_process_crash_has_no_category(self):
+        report = run_units(
+            _crash_or_square,
+            [("crash", "crash")],
+            PoolConfig(workers=2, max_retries=0),
+        )
+        crashed = report.outcomes["crash"]
+        assert crashed.quarantined
+        assert crashed.error_category() is None
