@@ -18,11 +18,16 @@ crashed to everyone else and poisons their clean-round detection.
 Run:  python examples/early_deciding.py
 """
 
+import os
+
 from repro.analysis.reports import render_table
 from repro.analysis.sync_lower_bound import make_st_system
 from repro.core.checker import ConsensusChecker
 from repro.models.sync import NO_FAILURE, SynchronousModel, fail_action
 from repro.protocols.early_deciding import EarlyDecidingFloodSet
+
+# CI smoke runs cap every exploration budget via this env var.
+MAX_STATES = int(os.environ.get("REPRO_MAX_STATES", "2000000"))
 
 
 def decision_profile(n: int, t: int):
@@ -56,7 +61,7 @@ def main() -> None:
     print("== Early-deciding FloodSet: exhaustive verification ==\n")
     for n, t in [(3, 1), (4, 2)]:
         layering = make_st_system(EarlyDecidingFloodSet(t), n, t)
-        report = ConsensusChecker(layering, 2_000_000).check_all(
+        report = ConsensusChecker(layering, MAX_STATES).check_all(
             layering.model
         )
         print(

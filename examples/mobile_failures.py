@@ -33,7 +33,12 @@ from repro.core.faulty import check_crash_display
 from repro.core.similarity import similarity_witnesses
 from repro.layerings.s1_mobile import similarity_chain
 
+import os
+
 N = 3
+
+# CI smoke runs cap every exploration budget via this env var.
+MAX_STATES = int(os.environ.get("REPRO_MAX_STATES", "600000"))
 
 
 def main() -> None:
@@ -60,7 +65,7 @@ def main() -> None:
     )
 
     print("\n== Corollary 5.2: FloodSet(t+1) falls to mobile failures ==\n")
-    report = ConsensusChecker(layering).check_all(model)
+    report = ConsensusChecker(layering, MAX_STATES).check_all(model)
     print(f"  FloodSet(2 rounds), correct for t=1 crashes: {report.verdict.value}")
     print(f"  inputs {report.inputs}; schedule:")
     for step, (_, j, group) in enumerate(report.execution.actions, 1):
@@ -75,7 +80,7 @@ def main() -> None:
 
     print("\n== Corollary 5.4: the same skeleton in shared memory ==\n")
     rw_layering = SynchronicRWLayering(SharedMemoryModel(QuorumDecide(2), N))
-    analyzer = ValenceAnalyzer(rw_layering, max_states=600_000)
+    analyzer = ValenceAnalyzer(rw_layering, max_states=MAX_STATES)
     start = lemma_3_6(
         rw_layering.model.initial_states((0, 1)), rw_layering, analyzer
     )

@@ -13,6 +13,8 @@ for n=3, t=1:
 Run:  python examples/quickstart.py
 """
 
+import os
+
 from repro import (
     ConsensusChecker,
     EIG,
@@ -22,6 +24,9 @@ from repro import (
 )
 
 N, T = 3, 1
+
+# CI smoke runs cap every exploration budget via this env var.
+MAX_STATES = int(os.environ.get("REPRO_MAX_STATES", "1000000"))
 
 
 def describe_action(action) -> str:
@@ -38,7 +43,7 @@ def main() -> None:
     # -- 1. the doomed candidate: decide after t rounds --------------------
     doomed = SynchronousModel(FloodSet(rounds=T), N, T)
     layering = StSynchronousLayering(doomed)
-    report = ConsensusChecker(layering).check_all(doomed)
+    report = ConsensusChecker(layering, MAX_STATES).check_all(doomed)
     print(f"FloodSet({T} round) under S^t: {report.verdict.value}")
     print(f"  inputs: {report.inputs}")
     print(f"  what happened: {report.detail}")
@@ -60,10 +65,10 @@ def main() -> None:
     # -- 2. the tight protocols: t+1 rounds verify exhaustively ------------
     for protocol in (FloodSet(rounds=T + 1), EIG(rounds=T + 1)):
         model = SynchronousModel(protocol, N, T)
-        st_report = ConsensusChecker(StSynchronousLayering(model)).check_all(
-            model
-        )
-        full_report = ConsensusChecker(model).check_all(model)
+        st_report = ConsensusChecker(
+            StSynchronousLayering(model), MAX_STATES
+        ).check_all(model)
+        full_report = ConsensusChecker(model, MAX_STATES).check_all(model)
         print(
             f"{protocol.name()}: S^t -> {st_report.verdict.value} "
             f"({st_report.states_explored} states), "

@@ -11,6 +11,8 @@ solver, or per-model defeats of the natural candidate).
 Run:  python examples/task_solvability.py
 """
 
+import os
+
 from repro.analysis.reports import render_table
 from repro.analysis.solvability_experiments import solvability_matrix
 from repro.tasks.catalog import EXPECTED_SOLVABLE
@@ -18,10 +20,13 @@ from repro.tasks.catalog import EXPECTED_SOLVABLE
 TASKS = ["consensus", "leader-election", "identity", "constant",
          "epsilon-agreement"]
 
+# CI smoke runs cap every exploration budget via this env var.
+MAX_STATES = int(os.environ.get("REPRO_MAX_STATES", "800000"))
+
 
 def main() -> None:
     print("== Corollary 7.3: the solvability matrix (n=3, 1-resilient) ==\n")
-    matrix = solvability_matrix(n=3, tasks=TASKS, max_states=800_000)
+    matrix = solvability_matrix(n=3, tasks=TASKS, max_states=MAX_STATES)
 
     rows = []
     for name, entry in matrix.items():

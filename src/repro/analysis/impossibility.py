@@ -125,6 +125,7 @@ def refute_candidate(
     pool: Optional[PoolConfig] = None,
     on_unit=None,
     cache: CacheSpec = True,
+    preflight: bool = True,
 ) -> list[Refutation]:
     """Run one candidate through every applicable layered model.
 
@@ -142,6 +143,10 @@ def refute_candidate(
     (default on; pass ``False`` to disable, an int for an LRU bound).
     Each unit gets its own cache — parallel workers never share one —
     and verdicts are byte-identical either way.
+
+    ``preflight`` (default on) runs the contract preflight
+    (:mod:`repro.lint.contracts`) per layered system; an ill-formed
+    candidate is diagnosed as ``ILL_FORMED`` instead of exploring.
     """
     budget = Budget.of(max_states)
     layerings = standard_layerings(protocol, n)
@@ -153,6 +158,7 @@ def refute_candidate(
                 model=layering.model,
                 budget=budget,
                 cache=cache,
+                preflight=preflight,
             ),
         )
         for name, layering in layerings.items()
@@ -204,12 +210,13 @@ def corollary_5_2(
     n: int,
     max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
     cache: CacheSpec = True,
+    preflight: bool = True,
 ) -> Refutation:
     """Corollary 5.2: consensus unsolvable under a single mobile failure."""
     layering = S1MobileLayering(MobileModel(protocol, n))
-    report = ConsensusChecker(layering, max_states, cache=cache).check_all(
-        layering.model
-    )
+    report = ConsensusChecker(
+        layering, max_states, cache=cache, preflight=preflight
+    ).check_all(layering.model)
     return Refutation("s1-mobile", protocol.name(), report)
 
 
@@ -218,13 +225,14 @@ def corollary_5_4(
     n: int,
     max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
     cache: CacheSpec = True,
+    preflight: bool = True,
 ) -> Refutation:
     """Corollary 5.4: consensus unsolvable 1-resiliently in r/w shared
     memory — in fact already in the barely-asynchronous ``S^rw`` submodel."""
     layering = SynchronicRWLayering(SharedMemoryModel(protocol, n))
-    report = ConsensusChecker(layering, max_states, cache=cache).check_all(
-        layering.model
-    )
+    report = ConsensusChecker(
+        layering, max_states, cache=cache, preflight=preflight
+    ).check_all(layering.model)
     return Refutation("synchronic-rw", protocol.name(), report)
 
 
@@ -233,10 +241,11 @@ def permutation_impossibility(
     n: int,
     max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
     cache: CacheSpec = True,
+    preflight: bool = True,
 ) -> Refutation:
     """The FLP-style impossibility via the permutation layering."""
     layering = PermutationLayering(AsyncMessagePassingModel(protocol, n))
-    report = ConsensusChecker(layering, max_states, cache=cache).check_all(
-        layering.model
-    )
+    report = ConsensusChecker(
+        layering, max_states, cache=cache, preflight=preflight
+    ).check_all(layering.model)
     return Refutation("permutation-mp", protocol.name(), report)

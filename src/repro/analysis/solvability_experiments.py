@@ -94,7 +94,7 @@ def _matrix_unit(payload: tuple) -> MatrixEntry:
     catalogs inside the worker, so nothing unpicklable (the catalog
     lambdas) ever crosses the process boundary.
     """
-    name, n, max_input_set_size, budget, cache = payload
+    name, n, max_input_set_size, budget, cache, preflight = payload
     problem = CATALOG[name](n)
     solver_factory = SOLVERS.get(name)
     solver = solver_factory() if solver_factory else None
@@ -104,12 +104,14 @@ def _matrix_unit(payload: tuple) -> MatrixEntry:
         max_input_set_size=max_input_set_size,
         max_states=budget,
         cache=cache,
+        preflight=preflight,
     )
     defeats = None
     candidate_factory = CANDIDATES.get(name)
     if candidate_factory is not None:
         defeats = defeat_in_every_model(
-            problem, candidate_factory(n), budget, cache=cache
+            problem, candidate_factory(n), budget, cache=cache,
+            preflight=preflight,
         )
     return MatrixEntry(
         row=row,
@@ -126,6 +128,7 @@ def solvability_matrix(
     workers: Optional[int] = None,
     pool: Optional[PoolConfig] = None,
     cache: CacheSpec = True,
+    preflight: bool = True,
 ) -> dict[str, MatrixEntry]:
     """Experiment E7: the task × model solvability matrix.
 
@@ -141,7 +144,7 @@ def solvability_matrix(
     budget = Budget.of(max_states)
     names = list(tasks or sorted(CATALOG))
     units = [
-        (name, (name, n, max_input_set_size, budget, cache))
+        (name, (name, n, max_input_set_size, budget, cache, preflight))
         for name in names
     ]
     if workers is not None and workers > 1 and len(units) > 1:

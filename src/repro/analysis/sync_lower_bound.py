@@ -29,7 +29,6 @@ from repro.analysis.lemmas import LemmaReport
 from repro.core.bivalence import bivalent_successor
 from repro.core.cache import CacheSpec
 from repro.core.checker import (
-    ConsensusChecker,
     ConsensusReport,
     SweepUnit,
     run_campaign,
@@ -113,6 +112,7 @@ def defeat_fast_candidates(
     pool: Optional[PoolConfig] = None,
     on_unit=None,
     cache: CacheSpec = True,
+    preflight: bool = True,
 ) -> list[LowerBoundRow]:
     """Defeat every shipped candidate deciding within ``t`` rounds.
 
@@ -137,7 +137,10 @@ def defeat_fast_candidates(
                 (
                     protocol.name(),
                     f"defeat:{protocol.name()}:n{n}:t{t}",
-                    SweepUnit(layering, layering.model, budget, cache=cache),
+                    SweepUnit(
+                        layering, layering.model, budget, cache=cache,
+                        preflight=preflight,
+                    ),
                     n,
                     t,
                     rounds,
@@ -157,6 +160,7 @@ def verify_tight_protocols(
     pool: Optional[PoolConfig] = None,
     on_unit=None,
     cache: CacheSpec = True,
+    preflight: bool = True,
 ) -> list[LowerBoundRow]:
     """Verify FloodSet/EIG at ``t+1`` rounds — the bound is tight.
 
@@ -173,7 +177,10 @@ def verify_tight_protocols(
             (
                 f"{protocol.name()} [S^t]",
                 f"tight:st:{protocol.name()}:n{n}:t{t}",
-                SweepUnit(layering, layering.model, budget, cache=cache),
+                SweepUnit(
+                    layering, layering.model, budget, cache=cache,
+                    preflight=preflight,
+                ),
                 n,
                 t,
                 t + 1,
@@ -187,7 +194,10 @@ def verify_tight_protocols(
                 (
                     f"{protocol.name()} [full sync]",
                     f"tight:full:{protocol.name()}:n{n}:t{t}",
-                    SweepUnit(model, model, budget, cache=cache),
+                    SweepUnit(
+                        model, model, budget, cache=cache,
+                        preflight=preflight,
+                    ),
                     n,
                     t,
                     t + 1,

@@ -7,6 +7,8 @@
     python -m repro solvability --n 3
     python -m repro lemmas --n 3
     python -m repro diameter --n 3 --rounds 2
+    python -m repro lint src/repro/protocols examples
+    python -m repro lint --protocol quorum --n 3
 
 Each subcommand prints the same tables the benchmark harness saves under
 ``benchmarks/results/`` — the CLI is the interactive face of the
@@ -48,6 +50,23 @@ Memoization (:mod:`repro.core.cache`):
   changes wall-clock time.
 * Sequential runs end with a one-line ``cache:`` summary on stderr
   (hits, misses, interned states, rough byte footprint).
+
+Static analysis (:mod:`repro.lint`):
+
+* ``repro lint`` runs replint from the command line: positional paths
+  are statically linted (``RP1xx``/``RP3xx`` AST rules), ``--protocol``
+  contract-preflights a concrete protocol across its standard layered
+  models (``RP2xx`` rules, each violation with a concrete witness edge).
+  ``--select``/``--ignore`` filter rule codes, ``--list-rules`` prints
+  the registry.  Exit codes: 0 clean, 1 findings, 2 internal error.
+* Every experiment subcommand contract-probes its systems before
+  exploring (an ill-formed system is diagnosed instead of producing
+  garbage verdicts); ``--no-preflight`` reproduces the historical
+  behaviour exactly.
+
+Diagnostics go through the shared :mod:`repro.log` logger: ``-q`` keeps
+only warnings, ``-v`` adds per-attempt worker-pool detail.  Results
+(tables, verdicts, lint findings) are printed to stdout either way.
 """
 
 from __future__ import annotations
@@ -58,6 +77,9 @@ import sys
 from repro.analysis.reports import render_table, render_verdict_rows
 from repro.core.cache import aggregate_stats
 from repro.core.valence import ExplorationLimitExceeded
+from repro.lint import IllFormedSystemError
+from repro.log import configure as configure_logging
+from repro.log import get_logger
 from repro.resilience.budget import Budget
 from repro.resilience.checkpoint import (
     CampaignCheckpoint,
@@ -66,6 +88,8 @@ from repro.resilience.checkpoint import (
     save_checkpoint,
 )
 from repro.resilience.pool import pool_config_for
+
+log = get_logger("cli")
 
 #: Exit codes: 0 expected outcome, 1 unexpected (a theorem-contradicting
 #: verdict), 2 inconclusive (budget exhausted before a verdict) or usage
@@ -86,9 +110,9 @@ def _save_campaign(args: argparse.Namespace) -> None:
         try:
             save_checkpoint(args.campaign, args.checkpoint)
         except OSError as exc:
-            print(f"cannot write checkpoint: {exc}", file=sys.stderr)
+            log.warning("cannot write checkpoint: %s", exc)
             return
-        print(f"checkpoint written to {args.checkpoint}", file=sys.stderr)
+        log.info("checkpoint written to %s", args.checkpoint)
 
 
 def _autosave(args: argparse.Namespace):
@@ -111,19 +135,21 @@ def _autosave(args: argparse.Namespace):
     return save
 
 
-def _print_cache_stats(args: argparse.Namespace) -> None:
-    """One stderr line summarizing memoization-cache effectiveness.
+def _log_cache_stats(args: argparse.Namespace) -> None:
+    """One INFO line summarizing memoization-cache effectiveness.
 
     Aggregates every cache created in *this* process
     (:func:`repro.core.cache.aggregate_stats`); with ``--workers`` the
     per-unit caches live and die inside the worker processes, so a
-    parallel run legitimately reports nothing here.
+    parallel run legitimately reports nothing here.  Emitted through
+    :mod:`repro.log` so ``-q`` silences it and machine-readable output
+    stays clean.
     """
     if not getattr(args, "cache", True):
         return
     stats = aggregate_stats()
     if stats.hits or stats.misses:
-        print(f"cache: {stats.describe()}", file=sys.stderr)
+        log.info("cache: %s", stats.describe())
 
 
 def _finish_inconclusive(args: argparse.Namespace, report) -> int:
@@ -133,11 +159,10 @@ def _finish_inconclusive(args: argparse.Namespace, report) -> int:
     line = "inconclusive: " + (
         stats.describe() if stats is not None else report.detail
     )
-    print(f"\n{line}", file=sys.stderr)
-    print(
+    log.warning("%s", line)
+    log.warning(
         "hint: raise --max-states and/or --timeout, or pass "
-        "--checkpoint/--resume to split the run",
-        file=sys.stderr,
+        "--checkpoint/--resume to split the run"
     )
     _save_campaign(args)
     if report.interrupted:
@@ -161,6 +186,7 @@ def _cmd_lower_bound(args: argparse.Namespace) -> int:
         pool=args.pool,
         on_unit=_autosave(args),
         cache=args.cache,
+        preflight=args.preflight,
     )
     verified = []
     if not any(r.inconclusive for r in defeated):
@@ -174,6 +200,7 @@ def _cmd_lower_bound(args: argparse.Namespace) -> int:
             pool=args.pool,
             on_unit=_autosave(args),
             cache=args.cache,
+            preflight=args.preflight,
         )
     rows = defeated + verified
     print(render_verdict_rows(rows))
@@ -225,6 +252,7 @@ def _cmd_impossibility(args: argparse.Namespace) -> int:
         pool=args.pool,
         on_unit=_autosave(args),
         cache=args.cache,
+        preflight=args.preflight,
     )
     if args.model != "all":
         refutations = [
@@ -274,6 +302,7 @@ def _cmd_solvability(args: argparse.Namespace) -> int:
         workers=args.workers,
         pool=args.pool,
         cache=args.cache,
+        preflight=args.preflight,
     )
     rows = []
     ok = True
@@ -370,12 +399,86 @@ def _cmd_diameter(args: argparse.Namespace) -> int:
         )
     print(render_table(["round", "|X|", "d_X", "d_S(X)", "bound"], rows))
     if stopped_by_budget:
-        print(
-            "\ninconclusive: the diameter walk stopped early; raise "
-            "--max-states and/or --timeout",
-            file=sys.stderr,
+        log.warning(
+            "inconclusive: the diameter walk stopped early; raise "
+            "--max-states and/or --timeout"
         )
         return EXIT_INCONCLUSIVE
+    return EXIT_OK
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """``repro lint``: run replint's static and contract engines.
+
+    Exit codes follow lint convention, not the experiment convention:
+    0 every target is clean, 1 findings were reported, 2 the analysis
+    itself failed (unknown rule code, unreadable path, internal error).
+    """
+    import dataclasses
+
+    from repro.lint import LintError, lint_paths, preflight_system
+    from repro.lint.engine import resolve_codes, rule_table
+
+    try:
+        if args.list_rules:
+            print(
+                render_table(
+                    ["code", "engine", "rule"],
+                    [list(row) for row in rule_table()],
+                )
+            )
+            return EXIT_OK
+        select = args.select.split(",") if args.select else None
+        ignore = args.ignore.split(",") if args.ignore else None
+        codes = resolve_codes(select, ignore)
+        if not args.paths and not args.protocol:
+            log.error(
+                "nothing to lint: pass paths, --protocol, or --list-rules"
+            )
+            return EXIT_INCONCLUSIVE
+        findings = []
+        if args.paths:
+            findings.extend(lint_paths(args.paths, select, ignore))
+        if args.protocol:
+            from repro.analysis.impossibility import standard_layerings
+
+            protocol = PROTOCOLS[args.protocol](args.n)
+            layerings = standard_layerings(protocol, args.n)
+            if args.model != "all":
+                if args.model not in layerings:
+                    log.error(
+                        "unknown model %r; choose from %s",
+                        args.model,
+                        sorted(layerings),
+                    )
+                    return EXIT_INCONCLUSIVE
+                layerings = {args.model: layerings[args.model]}
+            for name, layering in sorted(layerings.items()):
+                roots = layering.model.initial_states((0, 1))
+                report = preflight_system(layering, roots, codes=codes)
+                log.debug(
+                    "preflight %s: %s", name, report.describe()
+                )
+                findings.extend(
+                    dataclasses.replace(f, path=f"<{name}>")
+                    for f in report.findings
+                )
+    except LintError as exc:
+        log.error("lint error: %s", exc)
+        return EXIT_INCONCLUSIVE
+    except Exception as exc:  # internal failure, not a finding
+        log.error("internal error: %s: %s", type(exc).__name__, exc)
+        return EXIT_INCONCLUSIVE
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        log.info(
+            "%d finding(s) across %d rule code(s)",
+            len(findings),
+            len({f.code for f in findings}),
+        )
+        return EXIT_UNEXPECTED
+    log.info("clean: no findings")
     return EXIT_OK
 
 
@@ -440,6 +543,28 @@ def _add_budget_flags(parser, suppress: bool = False) -> None:
         help="memoize successor/failure/decision queries per verification "
         "unit (verdicts are identical either way; --no-cache disables)",
     )
+    parser.add_argument(
+        "--preflight",
+        action=argparse.BooleanOptionalAction,
+        default=default(True),
+        help="contract-probe each system before exploring, diagnosing "
+        "ill-formed protocols instead of reporting garbage verdicts "
+        "(--no-preflight reproduces pre-lint behaviour exactly)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=default(0),
+        help="more diagnostics on stderr (per-attempt pool detail)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="count",
+        default=default(0),
+        help="fewer diagnostics on stderr (warnings only)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -448,6 +573,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Executable layered analysis of consensus "
         "(Moses & Rajsbaum, PODC 1998)",
+        # No prefix abbreviation: with both --no-cache and --no-preflight
+        # registered, an abbreviated top-level option like --n (which the
+        # subcommands define exactly) would be rejected as ambiguous
+        # during argparse's classification pass, before the subparser
+        # ever sees it.
+        allow_abbrev=False,
     )
     _add_budget_flags(parser)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -487,6 +618,51 @@ def build_parser() -> argparse.ArgumentParser:
     _add_budget_flags(p, suppress=True)
     p.set_defaults(func=_cmd_diameter)
 
+    p = sub.add_parser(
+        "lint",
+        help="replint: static protocol lint + contract preflight",
+        description="Run the static AST rules over source paths and/or "
+        "the dynamic contract preflight over a concrete protocol's "
+        "standard layered models.  Exit 0 clean, 1 findings, 2 internal "
+        "error.",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint statically (recursive)",
+    )
+    p.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    p.add_argument(
+        "--ignore",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every registered rule code and exit",
+    )
+    p.add_argument(
+        "--protocol",
+        choices=sorted(PROTOCOLS),
+        default=None,
+        help="contract-preflight this protocol across the standard "
+        "layered models",
+    )
+    p.add_argument(
+        "--model",
+        default="all",
+        help="restrict --protocol preflight to one layered model",
+    )
+    p.add_argument("--n", type=int, default=3)
+    p.set_defaults(func=_cmd_lint)
+
     return parser
 
 
@@ -494,6 +670,7 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(args.verbose - args.quiet)
     args.budget = Budget(
         max_states=args.max_states, max_seconds=args.timeout
     )
@@ -505,13 +682,13 @@ def main(argv: list[str] | None = None) -> int:
         try:
             loaded = load_checkpoint(args.resume)
         except (OSError, CheckpointMismatch) as exc:
-            print(f"cannot resume: {exc}", file=sys.stderr)
+            log.warning("cannot resume: %s", exc)
             return EXIT_INCONCLUSIVE
         if not isinstance(loaded, CampaignCheckpoint):
-            print(
-                f"cannot resume: {args.resume} holds a "
-                f"{type(loaded).__name__}, not a campaign checkpoint",
-                file=sys.stderr,
+            log.warning(
+                "cannot resume: %s holds a %s, not a campaign checkpoint",
+                args.resume,
+                type(loaded).__name__,
             )
             return EXIT_INCONCLUSIVE
         args.campaign = loaded
@@ -521,20 +698,24 @@ def main(argv: list[str] | None = None) -> int:
         args.campaign = CampaignCheckpoint()
     try:
         code = args.func(args)
-        _print_cache_stats(args)
+        _log_cache_stats(args)
         return code
-    except ExplorationLimitExceeded as exc:
-        print(f"inconclusive: {exc}", file=sys.stderr)
-        print(
-            "hint: raise --max-states and/or --timeout",
-            file=sys.stderr,
+    except IllFormedSystemError as exc:
+        log.warning("ill-formed system: %s", exc)
+        log.warning(
+            "hint: run `repro lint` for the full diagnosis, or pass "
+            "--no-preflight to explore anyway"
         )
         return EXIT_INCONCLUSIVE
+    except ExplorationLimitExceeded as exc:
+        log.warning("inconclusive: %s", exc)
+        log.warning("hint: raise --max-states and/or --timeout")
+        return EXIT_INCONCLUSIVE
     except CheckpointMismatch as exc:
-        print(f"checkpoint mismatch: {exc}", file=sys.stderr)
+        log.warning("checkpoint mismatch: %s", exc)
         return EXIT_INCONCLUSIVE
     except KeyboardInterrupt:
-        print("\ninterrupted", file=sys.stderr)
+        log.warning("interrupted")
         _save_campaign(args)
         return EXIT_INTERRUPTED
 

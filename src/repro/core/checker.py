@@ -25,7 +25,18 @@ bound into a layered system, :class:`ConsensusChecker` explores every
   (states, edges, wall clock, memory) was exhausted, or the search was
   interrupted, before the state space was covered.  The report carries
   :class:`~repro.resilience.BudgetStats` and a resumable
-  :class:`~repro.resilience.ExplorationCheckpoint`.
+  :class:`~repro.resilience.ExplorationCheckpoint`;
+* ``ILL_FORMED`` — the default-on contract preflight
+  (:mod:`repro.lint.contracts`) found the *system itself* violating a
+  model-side hygiene condition (nondeterministic successors, shrinking
+  ``failed_at``, revoked decisions, empty layers, unhashable states)
+  before exploration started.  Like ``UNKNOWN`` it is neither a
+  satisfaction nor a refutation — the consensus verdict is meaningless
+  for such a system — but unlike ``UNKNOWN`` it is a definitive
+  diagnosis, carried as a :class:`~repro.lint.PreflightReport` with a
+  concrete witness edge per finding.  Pass ``preflight=False`` (CLI:
+  ``--no-preflight``) to skip the stage and reproduce historical
+  behaviour exactly.
 
 Degradation is **sound**: violations are detected the moment their state
 is generated, so any violation found before a budget trips is returned as
@@ -79,6 +90,7 @@ class Verdict(Enum):
     DECISION = "decision-violation"
     WRITE_ONCE = "write-once-violation"
     UNKNOWN = "unknown"
+    ILL_FORMED = "ill-formed"
 
 
 #: The verdicts that constitute a definitive refutation (a violation with
@@ -109,6 +121,9 @@ class ConsensusReport:
             ``UNKNOWN`` verdicts.  Pass it back to ``check`` /
             ``check_all`` (or save it with
             :func:`repro.resilience.save_checkpoint`) to continue.
+        preflight: the :class:`~repro.lint.PreflightReport` behind an
+            ``ILL_FORMED`` verdict (findings with witness edges); None
+            on every other verdict.
     """
 
     verdict: Verdict
@@ -119,10 +134,16 @@ class ConsensusReport:
     states_explored: int
     budget_stats: Optional[BudgetStats] = None
     checkpoint: Optional[object] = None
+    preflight: Optional[object] = None
 
     @property
     def satisfied(self) -> bool:
         return self.verdict is Verdict.SATISFIED
+
+    @property
+    def ill_formed(self) -> bool:
+        """True when the contract preflight refused the system."""
+        return self.verdict is Verdict.ILL_FORMED
 
     @property
     def inconclusive(self) -> bool:
@@ -170,6 +191,15 @@ class ConsensusChecker:
             engines.  Verdicts, witnesses and checkpoints are identical
             either way; in a parallel ``check_all`` each worker warms its
             own cache (caches never cross processes).
+        preflight: run the bounded contract preflight
+            (:func:`repro.lint.contracts.preflight_system`) on the first
+            ``check``/``check_all``, returning an ``ILL_FORMED`` report
+            (or raising :class:`~repro.lint.IllFormedSystemError` when
+            *strict*) instead of exploring an ill-formed system.  Default
+            on; ``preflight=False`` reproduces pre-preflight behaviour
+            exactly.  The probe runs against the *uncached* system and is
+            memoized per system object, so its cost is one bounded BFS
+            per process and it never perturbs cache statistics.
     """
 
     def __init__(
@@ -178,12 +208,55 @@ class ConsensusChecker:
         max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
         strict: bool = False,
         cache=None,
+        preflight: bool = True,
     ) -> None:
         from repro.core.cache import resolve_cache
 
         self._system = resolve_cache(system, cache)
         self._budget = Budget.of(max_states)
         self._strict = strict
+        self._preflight = preflight
+
+    def _preflight_gate(
+        self, roots, inputs: Optional[tuple]
+    ) -> Optional[ConsensusReport]:
+        """Run the contract preflight once; the ILL_FORMED report if it
+        failed, else None.  Raises when the checker is strict."""
+        if not self._preflight:
+            return None
+        from repro.lint.contracts import preflight_once
+
+        root_list = list(roots)
+        try:
+            report = preflight_once(self._system, root_list)
+        except KeyboardInterrupt:
+            # Ctrl-C during the probe degrades exactly like Ctrl-C during
+            # the BFS it guards: UNKNOWN with a zero-progress checkpoint.
+            if self._strict:
+                raise
+            meter = self._budget.meter()
+            return self._unknown_report(
+                inputs,
+                {root: None for root in root_list},
+                deque(root_list),
+                set(),
+                {},
+                meter,
+                meter.mark_interrupted(),
+            )
+        if report is None or report.ok:
+            return None
+        if self._strict:
+            report.raise_if_ill_formed()
+        return ConsensusReport(
+            verdict=Verdict.ILL_FORMED,
+            inputs=inputs,
+            execution=None,
+            cycle=None,
+            detail=report.describe(),
+            states_explored=0,
+            preflight=report,
+        )
 
     @property
     def budget(self) -> Budget:
@@ -213,6 +286,9 @@ class ConsensusChecker:
         window (except the wall-clock deadline, which is anchored on the
         ``Budget`` itself).
         """
+        refused = self._preflight_gate([initial_state], tuple(inputs))
+        if refused is not None:
+            return refused
         return self._check_one(
             initial_state, tuple(inputs), self._budget.meter(), checkpoint
         )
@@ -261,10 +337,21 @@ class ConsensusChecker:
             total = checkpoint.states_total
             inner = checkpoint.inner
         if workers is not None and workers > 1 and len(assignments) - start > 1:
+            # The preflight probe calls the user's successor function, so
+            # in a parallel sweep it must run inside the fault-isolated
+            # workers (each gates once per process, memoized) — probing
+            # in the driver would let a crashing successor kill the
+            # whole sweep, the exact failure mode the pool exists to
+            # contain.
             return self._check_all_parallel(
                 model, domain, assignments, start, total, inner,
                 workers, pool,
             )
+        refused = self._preflight_gate(
+            (model.initial_state(a) for a in assignments), None
+        )
+        if refused is not None:
+            return refused
         for index in range(start, len(assignments)):
             assignment = assignments[index]
             report = self._check_one(
@@ -305,6 +392,7 @@ class ConsensusChecker:
                 strict=self._strict,
                 assignment=assignments[index],
                 inner=inner if index == start else None,
+                preflight=self._preflight,
             )
             units.append((index, payload))
         config = pool or PoolConfig()
@@ -739,15 +827,29 @@ class _AssignmentPayload:
     strict: bool
     assignment: tuple
     inner: Optional[ExplorationCheckpoint]
+    preflight: bool = True
 
 
 def _check_assignment_unit(payload: _AssignmentPayload) -> ConsensusReport:
-    """Pool unit: BFS one input assignment (runs in a worker process)."""
+    """Pool unit: BFS one input assignment (runs in a worker process).
+
+    The contract preflight gates here, inside the fault-isolated worker,
+    never in the driver: the probe calls the user's successor function,
+    so a crashing system must crash a *worker* (retried, then
+    quarantined) rather than the whole sweep.  An ill-formed system is
+    returned as an ``ILL_FORMED`` report, which stops the driver's merge
+    exactly like any other non-SATISFIED verdict.
+    """
     checker = ConsensusChecker(
-        payload.system, payload.budget, strict=payload.strict
+        payload.system, payload.budget, strict=payload.strict,
+        preflight=payload.preflight,
     )
+    initial = payload.model.initial_state(payload.assignment)
+    refused = checker._preflight_gate([initial], payload.assignment)
+    if refused is not None:
+        return refused
     return checker._check_one(
-        payload.model.initial_state(payload.assignment),
+        initial,
         payload.assignment,
         checker._budget.meter(),
         payload.inner,
@@ -773,12 +875,14 @@ class SweepUnit:
     budget: Budget
     resume: Optional[CheckAllCheckpoint] = None
     cache: object = None
+    preflight: bool = True
 
 
 def run_sweep_unit(unit: SweepUnit) -> ConsensusReport:
     """Pool unit function for campaign drivers: one exhaustive sweep."""
     return ConsensusChecker(
-        unit.system, unit.budget, cache=unit.cache
+        unit.system, unit.budget, cache=unit.cache,
+        preflight=unit.preflight,
     ).check_all(unit.model, checkpoint=unit.resume)
 
 

@@ -74,12 +74,35 @@ class ExplorationStats:
         return self.states / self.seconds
 
 
+def _preflight_or_raise(system, roots, enabled: bool) -> None:
+    """Run the memoized contract preflight; raise on an ill-formed system.
+
+    The explorers return bare state sets with no verdict channel, so
+    (unlike the checkers' ``ILL_FORMED`` reports) a failed preflight
+    surfaces as :class:`~repro.lint.IllFormedSystemError` carrying the
+    findings and witness edges.
+    """
+    if not enabled:
+        return
+    from repro.lint.contracts import preflight_once
+
+    report = preflight_once(system, roots)
+    if report is not None:
+        report.raise_if_ill_formed()
+
+
 def _reachable_shard(payload) -> dict:
-    """Pool unit: BFS one shard of the root frontier (worker process)."""
-    system, roots, max_depth, budget, strict, cache = payload
+    """Pool unit: BFS one shard of the root frontier (worker process).
+
+    The contract preflight runs here, inside the fault-isolated worker,
+    never in the driver: the probe calls the user's successor function,
+    so a crashing system must crash a *worker* (retried, then
+    quarantined) rather than the whole parallel exploration.
+    """
+    system, roots, max_depth, budget, strict, cache, preflight = payload
     return reachable_states(
         system, roots, max_depth=max_depth, max_states=budget,
-        strict=strict, cache=cache,
+        strict=strict, cache=cache, preflight=preflight,
     )
 
 
@@ -92,6 +115,7 @@ def reachable_states_parallel(
     workers: int = 2,
     pool: Optional[PoolConfig] = None,
     cache: CacheSpec = None,
+    preflight: bool = True,
 ) -> dict[GlobalState, int]:
     """Frontier-partitioned :func:`reachable_states` over a worker pool.
 
@@ -114,6 +138,7 @@ def reachable_states_parallel(
         return reachable_states(
             system, root_list, max_depth=max_depth,
             max_states=max_states, strict=strict, cache=cache,
+            preflight=preflight,
         )
     budget = Budget.of(max_states)
     shards: list[list[GlobalState]] = [[] for _ in range(min(workers, len(root_list)))]
@@ -121,7 +146,11 @@ def reachable_states_parallel(
         shards[index % len(shards)].append(root)
     shard_budget = budget.split(len(shards))
     units = [
-        (index, (system, shard, max_depth, shard_budget, strict, cache))
+        (
+            index,
+            (system, shard, max_depth, shard_budget, strict, cache,
+             preflight),
+        )
         for index, shard in enumerate(shards)
     ]
     config = pool or PoolConfig()
@@ -132,17 +161,27 @@ def reachable_states_parallel(
     for index in range(len(shards)):
         outcome = report.outcomes[index]
         if outcome.quarantined:
+            from repro.lint.contracts import IllFormedSystemError
+
             cause = outcome.cause()
             # Dispatch on the structured exception category the pool
             # recorded, not on the cause text: messages and reprs may
             # change, the category is stable.
+            category = outcome.error_category()
             if (
-                outcome.error_category()
-                == exception_category(ExplorationLimitExceeded)
+                category == exception_category(ExplorationLimitExceeded)
                 and strict
             ):
                 raise ExplorationLimitExceeded(
                     f"exploration shard {index} exhausted its budget: {cause}"
+                )
+            if category == exception_category(IllFormedSystemError):
+                # The worker's preflight refused the system; re-raise
+                # with the sequential engine's exception type so callers
+                # handle ill-formedness uniformly (the report itself
+                # cannot cross the process boundary, only its text).
+                raise IllFormedSystemError(
+                    f"exploration shard {index} refused: {cause}"
                 )
             raise RuntimeError(
                 f"exploration shard {index} quarantined: {cause}"
@@ -161,6 +200,7 @@ def reachable_states(
     max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
     strict: bool = True,
     cache: CacheSpec = None,
+    preflight: bool = True,
 ) -> dict[GlobalState, int]:
     """BFS the reachable set; returns ``{state: first-reached depth}``.
 
@@ -170,8 +210,14 @@ def reachable_states(
     variant sharded over the root frontier see
     :func:`reachable_states_parallel`.  ``cache`` memoizes the successor
     function (see :func:`repro.core.cache.resolve_cache`) — the mapping
-    is identical either way.
+    is identical either way.  ``preflight`` (default on) refuses an
+    ill-formed system with :class:`~repro.lint.IllFormedSystemError`
+    before exploring; ``preflight=False`` reproduces historical
+    behaviour exactly.
     """
+    root_seq = list(roots)
+    _preflight_or_raise(system, root_seq, preflight)
+    roots = root_seq
     system = resolve_cache(system, cache)
     meter = Budget.of(max_states).meter()
     depth: dict[GlobalState, int] = {}
@@ -227,6 +273,7 @@ def explore(
     max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
     strict: bool = False,
     cache: CacheSpec = None,
+    preflight: bool = True,
 ) -> ExplorationStats:
     """BFS with full statistics (see :class:`ExplorationStats`).
 
@@ -236,8 +283,13 @@ def explore(
     memoizes the successor function (see
     :func:`repro.core.cache.resolve_cache`); when enabled, the cache's
     counters are snapshotted into ``stats.cache_stats``.  All other
-    statistics are identical cached or uncached.
+    statistics are identical cached or uncached.  ``preflight`` (default
+    on) refuses an ill-formed system with
+    :class:`~repro.lint.IllFormedSystemError` before exploring.
     """
+    root_seq = list(roots)
+    _preflight_or_raise(system, root_seq, preflight)
+    roots = root_seq
     system = resolve_cache(system, cache)
     meter = Budget.of(max_states).meter()
     stats = ExplorationStats()

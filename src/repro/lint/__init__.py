@@ -1,0 +1,60 @@
+"""replint — static preflight analysis for user-supplied systems.
+
+Every soundness guarantee in this library (byte-identical cached and
+uncached verdicts, deterministic parallel merge, checkpoint resume)
+silently assumes the user-supplied protocol, layering and model are
+well-formed: deterministic, hashable, decision-irrevocable and
+layer-closed in the sense of the paper's layering definition
+``S : G -> 2^G \\ {∅}`` (Section 4).  A protocol that iterates a ``set``
+into its messages, calls ``random``, or mutates a
+:class:`~repro.core.state.GlobalState` in place produces garbage verdicts
+with no diagnosis.  This package is the sanitizer for that gap, with two
+engines behind one rule registry:
+
+* **AST lint** (:mod:`repro.lint.ast_rules`, :mod:`repro.lint.engine`) —
+  purely static rules over protocol/layering/model source, each with a
+  stable code: ``RP1xx`` protocol rules, ``RP3xx`` harness rules.
+* **Contract preflight** (:mod:`repro.lint.contracts`) — cheap bounded
+  probing of a concrete ``(protocol, layering, model)`` triple before
+  expensive exploration: successor determinism, ``failed_at``
+  monotonicity, decision irrevocability and layer closure (``RP2xx``
+  model/layering rules), each violation reported with a concrete witness
+  edge in the style of the checkers' counterexample runs.
+
+The checkers and explorers run the contract preflight by default
+(``preflight=False`` / ``--no-preflight`` opts out); ``repro lint`` runs
+both engines from the command line, and CI lints the shipped protocol,
+layering and example trees on every push.
+"""
+
+from repro.lint.ast_rules import AST_RULES
+from repro.lint.contracts import (
+    ContractWitness,
+    IllFormedSystemError,
+    PreflightReport,
+    preflight_system,
+)
+from repro.lint.engine import (
+    LintError,
+    LintFinding,
+    all_rules,
+    lint_paths,
+    lint_source,
+    resolve_codes,
+    rule_table,
+)
+
+__all__ = [
+    "AST_RULES",
+    "ContractWitness",
+    "IllFormedSystemError",
+    "LintError",
+    "LintFinding",
+    "PreflightReport",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "preflight_system",
+    "resolve_codes",
+    "rule_table",
+]

@@ -1,0 +1,419 @@
+"""Static replint rules (``RP1xx`` protocol rules, ``RP3xx`` harness rules).
+
+Each rule inspects one parsed module and yields findings with stable
+codes.  The protocol rules scope themselves to *system classes* — classes
+whose base-class names end in ``Protocol``, ``Model`` or ``Layering`` —
+because that is where the library's well-formedness contract applies: a
+``time.time()`` call in a benchmark harness is fine, the same call inside
+a protocol transition silently breaks every determinism guarantee the
+checkers rely on (cached/uncached parity, deterministic parallel merge,
+checkpoint resume).
+
+These are heuristics, deliberately on the noisy-but-cheap side of the
+trade: they track names, not data flow, so ``import random as r`` or a
+set smuggled through a helper escapes them.  The dynamic contract
+preflight (:mod:`repro.lint.contracts`) is the backstop that catches what
+static analysis cannot.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.engine import AstRule, LintFinding, register_ast_rule
+
+#: Base-class name suffixes that mark a class as part of the system
+#: contract (protocol, model or layering implementation).
+SYSTEM_BASE_SUFFIXES = ("Protocol", "Model", "Layering")
+
+#: Modules whose attribute calls are nondeterminism sources inside
+#: protocol code.  ``os`` is restricted to ``urandom`` (``os.path`` etc.
+#: are fine); the others are wholesale.
+NONDET_MODULES = frozenset({"random", "secrets", "uuid", "time"})
+
+#: Bare function names (``from random import choice``-style) that are
+#: nondeterminism sources, plus the ``id`` builtin, whose value differs
+#: across processes and runs — poison for hashable state components.
+NONDET_NAMES = frozenset(
+    {
+        "id",
+        "random",
+        "choice",
+        "randint",
+        "randrange",
+        "uniform",
+        "shuffle",
+        "sample",
+        "getrandbits",
+        "urandom",
+        "token_bytes",
+        "token_hex",
+    }
+)
+
+#: Method names that mutate their receiver in place.
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "setdefault",
+        "sort",
+        "reverse",
+        "__setattr__",
+        "__setitem__",
+        "__delitem__",
+    }
+)
+
+
+def _dotted_tail(node: ast.expr) -> str:
+    """The last name segment of a Name/Attribute base expression."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def is_system_class(cls: ast.ClassDef) -> bool:
+    """Whether *cls* subclasses a Protocol/Model/Layering-style base."""
+    return any(
+        _dotted_tail(base).endswith(SYSTEM_BASE_SUFFIXES)
+        for base in cls.bases
+    )
+
+
+def iter_system_classes(tree: ast.Module) -> Iterator[ast.ClassDef]:
+    """Every system class in the module, including nested ones."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and is_system_class(node):
+            yield node
+
+
+def _root_name(node: ast.expr) -> str:
+    """The base ``Name`` under an Attribute/Subscript chain, or ``""``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+@register_ast_rule
+class NondeterminismCall(AstRule):
+    """RP101: protocol code calls a nondeterminism source."""
+
+    code = "RP101"
+    summary = (
+        "protocol/model/layering code calls a nondeterminism source "
+        "(random, time, id(), os.urandom, uuid, secrets)"
+    )
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[LintFinding]:
+        for cls in iter_system_classes(tree):
+            for node in ast.walk(cls):
+                if not isinstance(node, ast.Call):
+                    continue
+                source = self._nondet_source(node.func)
+                if source is not None:
+                    yield self.finding(
+                        node,
+                        f"call to nondeterminism source {source!r}: "
+                        "verdicts, caches and checkpoints all assume "
+                        "deterministic transitions",
+                        path,
+                    )
+
+    @staticmethod
+    def _nondet_source(func: ast.expr) -> str | None:
+        if isinstance(func, ast.Attribute):
+            root = func.value
+            if isinstance(root, ast.Name):
+                if root.id in NONDET_MODULES:
+                    return f"{root.id}.{func.attr}"
+                if root.id == "os" and func.attr == "urandom":
+                    return "os.urandom"
+            return None
+        if isinstance(func, ast.Name) and func.id in NONDET_NAMES:
+            return func.id
+        return None
+
+
+@register_ast_rule
+class UnorderedIteration(AstRule):
+    """RP102: iteration over an unordered set feeds protocol behaviour."""
+
+    code = "RP102"
+    summary = (
+        "iteration over a set/frozenset in protocol code — iteration "
+        "order is unspecified; sort before iterating"
+    )
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[LintFinding]:
+        for cls in iter_system_classes(tree):
+            for node in ast.walk(cls):
+                iters: list[ast.expr] = []
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    iters.append(node.iter)
+                elif isinstance(
+                    node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                           ast.GeneratorExp)
+                ):
+                    iters.extend(g.iter for g in node.generators)
+                for it in iters:
+                    if self._is_set_expr(it):
+                        yield self.finding(
+                            it,
+                            "iterating an unordered set: messages/actions "
+                            "built from it vary run to run — wrap in "
+                            "sorted(...)",
+                            path,
+                        )
+
+    @staticmethod
+    def _is_set_expr(node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            # set algebra: {a} - {b}, s | t, ... — flag when either side
+            # is itself visibly a set expression.
+            return UnorderedIteration._is_set_expr(
+                node.left
+            ) or UnorderedIteration._is_set_expr(node.right)
+        return False
+
+
+@register_ast_rule
+class ArgumentMutation(AstRule):
+    """RP103: in-place mutation of a GlobalState / run argument."""
+
+    code = "RP103"
+    summary = (
+        "in-place mutation of a method argument (GlobalState, locals, "
+        "received messages) — states must be immutable values"
+    )
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[LintFinding]:
+        for cls in iter_system_classes(tree):
+            for func in ast.walk(cls):
+                if not isinstance(
+                    func, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                params = {
+                    a.arg
+                    for a in (
+                        func.args.posonlyargs
+                        + func.args.args
+                        + func.args.kwonlyargs
+                    )
+                } - {"self", "cls"}
+                if not params:
+                    continue
+                yield from self._check_body(func, params, path)
+
+    def _check_body(
+        self, func: ast.AST, params: set[str], path: str
+    ) -> Iterator[LintFinding]:
+        for node in ast.walk(func):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            for target in targets:
+                if (
+                    isinstance(target, (ast.Attribute, ast.Subscript))
+                    and _root_name(target) in params
+                ):
+                    yield self.finding(
+                        target,
+                        f"argument {_root_name(target)!r} is mutated in "
+                        "place; build a new value instead "
+                        "(states are shared across the search)",
+                        path,
+                    )
+            if isinstance(node, ast.Call):
+                yield from self._check_call(node, params, path)
+
+    def _check_call(
+        self, node: ast.Call, params: set[str], path: str
+    ) -> Iterator[LintFinding]:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in MUTATOR_METHODS
+            and _root_name(func.value) in params
+        ):
+            yield self.finding(
+                node,
+                f"{_root_name(func.value)}.{func.attr}(...) mutates an "
+                "argument in place; build a new value instead",
+                path,
+            )
+        # object.__setattr__(state, ...) — the frozen-dataclass backdoor.
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "__setattr__"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "object"
+            and node.args
+            and isinstance(node.args[0], ast.Name)
+            and node.args[0].id in params
+        ):
+            yield self.finding(
+                node,
+                f"object.__setattr__({node.args[0].id}, ...) mutates a "
+                "frozen argument in place",
+                path,
+            )
+
+
+@register_ast_rule
+class EqWithoutHash(AstRule):
+    """RP104: ``__eq__`` without ``__hash__`` makes states unhashable."""
+
+    code = "RP104"
+    summary = (
+        "class defines __eq__ without __hash__ — Python then sets "
+        "__hash__ to None, breaking state interning and visited sets"
+    )
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[LintFinding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            names = set()
+            for item in node.body:
+                if isinstance(
+                    item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    names.add(item.name)
+                elif isinstance(item, ast.Assign):
+                    names.update(
+                        t.id
+                        for t in item.targets
+                        if isinstance(t, ast.Name)
+                    )
+            if "__eq__" in names and "__hash__" not in names:
+                yield self.finding(
+                    node,
+                    f"class {node.name!r} defines __eq__ but not "
+                    "__hash__: instances become unhashable and cannot "
+                    "serve as state components",
+                    path,
+                )
+
+
+@register_ast_rule
+class StatefulProtocol(AstRule):
+    """RP105: protocol objects must be stateless between calls."""
+
+    code = "RP105"
+    summary = (
+        "assignment to self.<attr> outside __init__ in a Protocol "
+        "subclass — per-process evolution must live in the hashable "
+        "local states, not on the protocol object"
+    )
+
+    _ALLOWED = ("__init__", "__post_init__", "__new__", "__setstate__")
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[LintFinding]:
+        for cls in ast.walk(tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            if not any(
+                _dotted_tail(base).endswith("Protocol")
+                for base in cls.bases
+            ):
+                continue
+            for func in cls.body:
+                if not isinstance(
+                    func, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if func.name in self._ALLOWED:
+                    continue
+                for node in ast.walk(func):
+                    targets: list[ast.expr] = []
+                    if isinstance(node, ast.Assign):
+                        targets = node.targets
+                    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                        targets = [node.target]
+                    for target in targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            yield self.finding(
+                                target,
+                                f"protocol mutates itself in "
+                                f"{func.name!r} (self.{target.attr} = "
+                                "...): one protocol object drives every "
+                                "process and every branch, so instance "
+                                "state leaks across runs",
+                                path,
+                            )
+
+
+@register_ast_rule
+class SwallowedBudget(AstRule):
+    """RP301: a broad except may swallow budget trips and Ctrl-C."""
+
+    code = "RP301"
+    summary = (
+        "bare except / except (Base)Exception without re-raise — "
+        "swallows ExplorationLimitExceeded and KeyboardInterrupt, "
+        "turning budget trips into silent garbage"
+    )
+
+    _BROAD = ("Exception", "BaseException")
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[LintFinding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if any(isinstance(n, ast.Raise) for n in ast.walk(node)):
+                continue
+            label = (
+                "bare except:"
+                if node.type is None
+                else f"except {_dotted_tail(node.type)}"
+            )
+            yield self.finding(
+                node,
+                f"{label} without re-raise can swallow "
+                "ExplorationLimitExceeded (budget trips) and "
+                "KeyboardInterrupt; catch specific exceptions or "
+                "re-raise",
+                path,
+            )
+
+    def _is_broad(self, type_node: ast.expr | None) -> bool:
+        if type_node is None:
+            return True
+        if isinstance(type_node, ast.Tuple):
+            return any(self._is_broad(el) for el in type_node.elts)
+        return _dotted_tail(type_node) in self._BROAD
+
+
+#: The static rule codes this module registers, in order.
+AST_RULES = ("RP101", "RP102", "RP103", "RP104", "RP105", "RP301")

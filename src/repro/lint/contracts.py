@@ -1,0 +1,405 @@
+"""Contract preflight: bounded dynamic probing of a concrete system.
+
+Static lint cannot see through factories, closures or data flow; this
+module is the dynamic backstop.  Before an engine commits to an expensive
+exploration, :func:`preflight_system` probes a bounded breadth-first
+sample of the system's state space and checks the model-side hygiene
+conditions every analysis in this library assumes:
+
+* **RP201 — successor determinism**: two calls to ``successors`` on the
+  same state must return identical ``(action, child)`` lists.  Cached
+  verdicts, the deterministic parallel merge and checkpoint resume are
+  all meaningless without this (the paper analyzes deterministic
+  protocols throughout; all nondeterminism lives in the environment's
+  *choice* among actions, never inside one action).
+* **RP202 — layer closure**: every probed state has a nonempty successor
+  set (the layering definition is ``S : G -> 2^G \\ {∅}``, and the
+  paper's runs are infinite), and for a constructive
+  :class:`~repro.layerings.base.Layering` each sampled layer action's
+  expansion must be a legal model execution
+  (:func:`~repro.layerings.base.verify_layering_embedding`) — the
+  monotone-embedding clause of the layering definition.
+* **RP203 — Faulty monotonicity**: the ``failed_at`` set never shrinks
+  along an edge.  ``Faulty`` membership is a property of every run
+  through a state (Section 2); a resurrected process would break the
+  checker's starvation analysis.
+* **RP204 — decision irrevocability**: decisions are write-once along
+  every probed edge (condition (ii) of "system for consensus",
+  Section 3).
+* **RP205 — state hashability**: every probed state (and hence its
+  local-state components) must be hashable, or visited sets, memo tables
+  and ``intern()`` all fail.
+
+Each violation is reported as a :class:`~repro.lint.engine.LintFinding`
+carrying a :class:`ContractWitness` — the concrete ``(state, action,
+child)`` edge exhibiting the violation, in the style of the checkers'
+counterexample runs.
+
+The probe is **cheap and bounded** (default: 48 states), runs against
+the *uncached* system (a memoized successor function would trivially
+pass the determinism check by construction), and is memoized per system
+object so repeated engine invocations pay once.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import deque
+from collections.abc import Iterable
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.state import GlobalState
+from repro.lint.engine import LintFinding, register_contract_rule
+
+RP201 = register_contract_rule(
+    "RP201",
+    "successor determinism: two successors() calls on one state must "
+    "return identical (action, child) lists",
+)
+RP202 = register_contract_rule(
+    "RP202",
+    "layer closure: S(G) is nonempty at every state and each layer "
+    "action embeds into a legal model execution",
+)
+RP203 = register_contract_rule(
+    "RP203",
+    "Faulty monotonicity: failed_at never shrinks along an edge",
+)
+RP204 = register_contract_rule(
+    "RP204",
+    "decision irrevocability: decisions are write-once along every edge",
+)
+RP205 = register_contract_rule(
+    "RP205",
+    "state hashability: probed states (and their components) must be "
+    "hashable for interning and visited sets",
+)
+
+#: Default probe bounds: small enough to be negligible next to any real
+#: exploration, large enough to cover a couple of layers at n=3.
+DEFAULT_PROBE_STATES = 48
+DEFAULT_DETERMINISM_SAMPLES = 8
+DEFAULT_EMBEDDING_SAMPLES = 4
+
+#: Systems (by identity) that already passed a full-default preflight in
+#: this process.  Ill-formed systems are never memoized — re-probing them
+#: is cheap (they fail fast) and must keep reporting.
+_CLEAN: "weakref.WeakSet" = weakref.WeakSet()
+
+
+@dataclass(frozen=True)
+class ContractWitness:
+    """The concrete edge (or state) exhibiting a contract violation."""
+
+    state: GlobalState
+    action: Optional[object] = None
+    child: Optional[GlobalState] = None
+
+    def describe(self) -> str:
+        if self.action is None:
+            return f"at state {self.state!r}"
+        return (
+            f"on edge {self.state!r} --{self.action!r}--> {self.child!r}"
+        )
+
+
+@dataclass(frozen=True)
+class PreflightReport:
+    """What a bounded contract probe observed.
+
+    Attributes:
+        findings: at most one finding per rule code (the first witness
+            found); empty when the probe saw no violation.
+        states_probed: distinct states expanded by the probe BFS.
+        edges_probed: ``(action, child)`` pairs inspected.
+        complete: True when the probe exhausted the reachable space
+            within its bound — the contract checks are then exhaustive
+            rather than sampled.
+    """
+
+    findings: tuple[LintFinding, ...] = ()
+    states_probed: int = 0
+    edges_probed: int = 0
+    complete: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def describe(self) -> str:
+        """One-line summary for reports and exception messages."""
+        coverage = "exhaustive" if self.complete else "sampled"
+        if self.ok:
+            return (
+                f"preflight clean ({coverage}: {self.states_probed} "
+                f"states, {self.edges_probed} edges)"
+            )
+        codes = ", ".join(f.code for f in self.findings)
+        return (
+            f"ill-formed system ({codes}; {coverage}: "
+            f"{self.states_probed} states, {self.edges_probed} edges): "
+            + "; ".join(f.message for f in self.findings)
+        )
+
+    def raise_if_ill_formed(self) -> "PreflightReport":
+        if not self.ok:
+            raise IllFormedSystemError(self)
+        return self
+
+
+class IllFormedSystemError(Exception):
+    """A contract preflight refused a system before exploration.
+
+    Carries the :class:`PreflightReport` (``.report``) so callers can
+    inspect the findings and their witness edges programmatically.
+    ``report`` is None when the refusal crossed a process boundary
+    (parallel exploration) and only the describing text survived.
+    """
+
+    def __init__(self, report: "PreflightReport | str") -> None:
+        if isinstance(report, PreflightReport):
+            super().__init__(report.describe())
+            self.report: Optional[PreflightReport] = report
+        else:
+            super().__init__(report)
+            self.report = None
+
+
+class _Probe:
+    """One bounded BFS probe, accumulating at most one finding per code."""
+
+    def __init__(self, system, codes: Optional[frozenset[str]]) -> None:
+        # Probe the uncached base: a memoizing wrapper returns the same
+        # list object twice by construction, which would vacuously pass
+        # the determinism check it exists to perform.
+        self.system = getattr(system, "uncached", system)
+        self.codes = codes
+        self.findings: dict[str, LintFinding] = {}
+        self.states = 0
+        self.edges = 0
+
+    def enabled(self, code: str) -> bool:
+        return (self.codes is None or code in self.codes) and (
+            code not in self.findings
+        )
+
+    def record(
+        self, code: str, message: str, witness: ContractWitness
+    ) -> None:
+        self.findings[code] = LintFinding(
+            code=code,
+            message=f"{message} {witness.describe()}",
+            path="<system>",
+            witness=witness,
+        )
+
+    # -- per-state checks ---------------------------------------------------
+    def check_determinism(self, state: GlobalState) -> Optional[list]:
+        first = list(self.system.successors(state))
+        if not self.enabled(RP201):
+            return first
+        second = list(self.system.successors(state))
+        if len(first) != len(second):
+            self.record(
+                RP201,
+                f"successors() returned {len(first)} then "
+                f"{len(second)} edges for the same state",
+                ContractWitness(state),
+            )
+            return first
+        for index, (a, b) in enumerate(zip(first, second)):
+            if a != b:
+                self.record(
+                    RP201,
+                    f"successors() disagreed at index {index}: "
+                    f"{a!r} vs {b!r}",
+                    ContractWitness(state),
+                )
+                break
+        return first
+
+    def check_closure(
+        self, state: GlobalState, succs: list, embed: bool
+    ) -> None:
+        # The engines treat all-nonfailed-decided states as terminal and
+        # never expand them, so an empty successor set there is
+        # unobservable; everywhere else it truncates runs the paper
+        # defines to be infinite.
+        if (
+            not succs
+            and self.enabled(RP202)
+            and not self._all_nonfailed_decided(state)
+        ):
+            self.record(
+                RP202,
+                "empty successor set: a layering maps into "
+                "2^G \\ {∅} and every run must be extensible",
+                ContractWitness(state),
+            )
+        if not embed or not self.enabled(RP202):
+            return
+        from repro.layerings.base import Layering, verify_layering_embedding
+
+        if not isinstance(self.system, Layering):
+            return
+        for action, child in succs:
+            try:
+                verify_layering_embedding(self.system, state, action)
+            except AssertionError as exc:
+                self.record(
+                    RP202,
+                    f"layer action does not embed into the model: {exc}",
+                    ContractWitness(state, action, child),
+                )
+                return
+
+    def _all_nonfailed_decided(self, state: GlobalState) -> bool:
+        failed = self.system.failed_at(state)
+        decided = self.system.decisions(state)
+        return all(
+            i in decided for i in range(state.n) if i not in failed
+        )
+
+    def check_edges(self, state: GlobalState, succs: list) -> None:
+        check_failed = self.enabled(RP203)
+        check_decisions = self.enabled(RP204)
+        if not (check_failed or check_decisions):
+            return
+        failed_before = self.system.failed_at(state)
+        decisions_before = self.system.decisions(state)
+        for action, child in succs:
+            if check_failed and not (
+                failed_before <= self.system.failed_at(child)
+            ):
+                revived = sorted(
+                    failed_before - self.system.failed_at(child)
+                )
+                self.record(
+                    RP203,
+                    f"failed_at shrank (process(es) {revived} revived)",
+                    ContractWitness(state, action, child),
+                )
+                check_failed = False
+            if check_decisions:
+                after = self.system.decisions(child)
+                for i, v in decisions_before.items():
+                    if after.get(i) != v:
+                        self.record(
+                            RP204,
+                            f"process {i}'s decision changed from {v!r} "
+                            f"to {after.get(i)!r}",
+                            ContractWitness(state, action, child),
+                        )
+                        check_decisions = False
+                        break
+
+
+def preflight_system(
+    system,
+    roots: Iterable[GlobalState],
+    max_states: int = DEFAULT_PROBE_STATES,
+    determinism_samples: int = DEFAULT_DETERMINISM_SAMPLES,
+    embedding_samples: int = DEFAULT_EMBEDDING_SAMPLES,
+    codes: Optional[frozenset[str]] = None,
+) -> PreflightReport:
+    """Probe a successor system's contracts from the given roots.
+
+    BFS at most *max_states* states; run the determinism double-call on
+    the first *determinism_samples* of them and the layering-embedding
+    re-check on the first *embedding_samples*; check closure, ``Faulty``
+    monotonicity and decision write-once on every probed state/edge.
+
+    Returns a :class:`PreflightReport` with at most one finding (and one
+    concrete witness) per rule code.  ``codes`` restricts which contract
+    rules run (None = all); the report's ``complete`` flag records
+    whether the bounded probe actually exhausted the reachable space.
+    """
+    probe = _Probe(system, codes)
+    root_list = list(roots)
+    queue: deque[GlobalState] = deque()
+    visited: set[GlobalState] = set()
+    truncated = False
+    try:
+        for root in root_list:
+            if root not in visited:
+                visited.add(root)
+                queue.append(root)
+        while queue:
+            if probe.states >= max_states:
+                truncated = True
+                break
+            state = queue.popleft()
+            probe.states += 1
+            if probe.states <= determinism_samples:
+                succs = probe.check_determinism(state)
+            else:
+                succs = list(probe.system.successors(state))
+            probe.edges += len(succs)
+            probe.check_closure(
+                state, succs, embed=probe.states <= embedding_samples
+            )
+            probe.check_edges(state, succs)
+            for _, child in succs:
+                if child not in visited:
+                    visited.add(child)
+                    queue.append(child)
+    except TypeError as exc:
+        # Unhashable state components surface here (visited-set insert
+        # or dict lookup); everything downstream — interning, memo
+        # tables, BFS parents — would die the same way, later and worse.
+        if probe.codes is None or RP205 in probe.codes:
+            probe.findings.setdefault(
+                RP205,
+                LintFinding(
+                    code=RP205,
+                    message=(
+                        f"state is not hashable ({exc}); local and "
+                        "environment states must be hashable values "
+                        "(tuples/frozensets, not lists/dicts/sets)"
+                    ),
+                    path="<system>",
+                ),
+            )
+        truncated = True
+    report = PreflightReport(
+        findings=tuple(
+            probe.findings[code] for code in sorted(probe.findings)
+        ),
+        states_probed=probe.states,
+        edges_probed=probe.edges,
+        complete=not truncated and not queue,
+    )
+    return report
+
+
+def preflight_once(
+    system,
+    roots: Iterable[GlobalState],
+    max_states: int = DEFAULT_PROBE_STATES,
+) -> Optional[PreflightReport]:
+    """Memoized default preflight for the engines' default-on stage.
+
+    Returns None when the system already passed a default probe in this
+    process (by object identity); otherwise runs the probe, memoizes a
+    clean result, and returns the report.  Ill-formed systems are never
+    memoized, so every engine invocation keeps reporting them.
+    """
+    base = getattr(system, "uncached", system)
+    try:
+        if base in _CLEAN:
+            return None
+    except TypeError:  # unhashable system object: just probe it
+        return preflight_system(system, roots, max_states=max_states)
+    report = preflight_system(system, roots, max_states=max_states)
+    if report.ok:
+        try:
+            _CLEAN.add(base)
+        except TypeError:
+            pass
+    return report
+
+
+def _clear_memo() -> None:
+    """Test hook: forget which systems passed (used by tests/lint)."""
+    _CLEAN.clear()

@@ -1,0 +1,101 @@
+"""Shared logging for the library's human-facing diagnostics.
+
+Everything the library emits for a *human* — the memoization-cache
+statistics line, worker-pool retry and quarantine notices, preflight
+refusals — goes through the ``repro`` logger hierarchy defined here,
+never through bare ``print(..., file=sys.stderr)``.  Results themselves
+(tables, verdict lines) stay on stdout: they are the machine-readable
+output of a run, not commentary about it.
+
+Two audiences, two behaviours:
+
+* **Library use** (imported from user code, tests, notebooks): no
+  handler is installed.  Python's last-resort handler shows WARNING and
+  above on stderr (quarantine notices reach the user), while INFO chatter
+  such as cache statistics stays silent unless the host application
+  configures logging itself — exactly the convention well-behaved
+  libraries follow.
+* **CLI use** (``python -m repro``): :func:`configure` installs one
+  plain stderr handler whose level tracks the ``-v``/``-q`` flags —
+  ``-q`` shows warnings only, the default shows the INFO diagnostics the
+  CLI always used to print, ``-v`` adds per-attempt DEBUG detail from
+  the worker pool.
+
+Severity convention: DEBUG is per-attempt/per-unit mechanics (pool fault
+retries), INFO is end-of-run summaries (cache statistics, checkpoint
+written), WARNING is degraded-but-sound outcomes (quarantined units,
+unwritable checkpoints).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+#: Root of the library's logger hierarchy; children are ``repro.<area>``.
+LOGGER_NAME = "repro"
+
+
+def get_logger(child: Optional[str] = None) -> logging.Logger:
+    """The shared ``repro`` logger, or its dotted child ``repro.<child>``."""
+    if child:
+        return logging.getLogger(f"{LOGGER_NAME}.{child}")
+    return logging.getLogger(LOGGER_NAME)
+
+
+#: The handler :func:`configure` installed, so reconfiguration (another
+#: ``main()`` call in one process, e.g. the test suite) replaces rather
+#: than stacks handlers — stacked handlers double every line.
+_handler: Optional[logging.Handler] = None
+
+
+def verbosity_level(verbosity: int) -> int:
+    """Map the CLI's ``-v``/``-q`` count to a logging level.
+
+    ``verbosity`` is ``(number of -v) - (number of -q)``: -1 or lower
+    shows warnings only, 0 is the default INFO, 1 or higher is DEBUG.
+    """
+    if verbosity <= -1:
+        return logging.WARNING
+    if verbosity == 0:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure(
+    verbosity: int = 0, stream: Optional[TextIO] = None
+) -> logging.Logger:
+    """Install the CLI's stderr handler on the ``repro`` logger.
+
+    Idempotent: a second call replaces the previous handler and level
+    instead of stacking another one.  ``stream`` defaults to the
+    *current* ``sys.stderr`` at emit time (not bound at configure time),
+    so pytest's capsys and shell redirection both see the output.
+    """
+    global _handler
+    logger = get_logger()
+    if _handler is not None:
+        logger.removeHandler(_handler)
+    if stream is None:
+        # Bind lazily so later reassignment of sys.stderr (capsys,
+        # redirection inside the process) is honored per record.
+        class _StderrHandler(logging.StreamHandler):
+            @property
+            def stream(self):  # type: ignore[override]
+                return sys.stderr
+
+            @stream.setter
+            def stream(self, value):  # the base __init__ assigns; ignore
+                pass
+
+        _handler = _StderrHandler()
+    else:
+        _handler = logging.StreamHandler(stream)
+    _handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(_handler)
+    logger.setLevel(verbosity_level(verbosity))
+    # The CLI handler is the presentation layer; don't also bubble the
+    # records up to the root logger's last-resort stderr handler.
+    logger.propagate = False
+    return logger

@@ -387,9 +387,13 @@ def mutation_campaign(
         for operator in operators:
             mutant = operator(factory())
             layering = StSynchronousLayering(SynchronousModel(mutant, n, t))
-            report = ConsensusChecker(layering, max_states).check_all(
-                layering.model
-            )
+            # preflight=False: this harness validates the *checker's* own
+            # violation detection, so the deliberately ill-formed mutants
+            # must reach the exploration rather than be refused upfront
+            # by the contract preflight as ILL_FORMED.
+            report = ConsensusChecker(
+                layering, max_states, preflight=False
+            ).check_all(layering.model)
             killed = report.verdict in operator.expected
             witness_ok = killed and replay_witness(layering, report)
             results.append(

@@ -54,6 +54,10 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
+from repro.log import get_logger
+
+log = get_logger("pool")
+
 #: Unit outcome statuses.
 UNIT_OK = "ok"
 UNIT_QUARANTINED = "quarantined"
@@ -610,6 +614,10 @@ class _Supervisor:
         config = self._config
         if attempt <= config.max_retries:
             delay = config.retry_backoff * (2 ** (attempt - 1))
+            log.debug(
+                "unit %r attempt %d failed (%s); retrying in %.2fs",
+                key, attempt, kind, delay,
+            )
             payload = self._payload_for(key)
             self._pending.append(
                 _Pending(
@@ -621,6 +629,10 @@ class _Supervisor:
                 )
             )
             return
+        log.warning(
+            "unit %r quarantined after %d attempt(s): %s",
+            key, attempt, fault.kind,
+        )
         outcome = UnitOutcome(
             key=key,
             status=UNIT_QUARANTINED,

@@ -37,7 +37,11 @@ from repro.tasks.simplex import Simplex
 
 @dataclass(frozen=True)
 class TaskReport:
-    """The result of checking one protocol against one task."""
+    """The result of checking one protocol against one task.
+
+    ``preflight`` carries the :class:`~repro.lint.PreflightReport`
+    behind an ``ILL_FORMED`` verdict (None on every other verdict).
+    """
 
     verdict: Verdict
     input_facet: Optional[Simplex]
@@ -45,10 +49,16 @@ class TaskReport:
     cycle: Optional[Execution]
     detail: str
     states_explored: int
+    preflight: Optional[object] = None
 
     @property
     def satisfied(self) -> bool:
         return self.verdict is Verdict.SATISFIED
+
+    @property
+    def ill_formed(self) -> bool:
+        """True when the contract preflight refused the system."""
+        return self.verdict is Verdict.ILL_FORMED
 
 
 class TaskChecker:
@@ -68,6 +78,11 @@ class TaskChecker:
     ``cache`` memoizes the system's successor/failure/decision queries
     (see :func:`repro.core.cache.resolve_cache`); reports are identical
     cached or uncached.
+
+    ``preflight`` (default on) runs the bounded contract preflight
+    (:mod:`repro.lint.contracts`) before the first exploration and
+    returns an ``ILL_FORMED`` report instead of exploring an ill-formed
+    system; ``preflight=False`` reproduces historical behaviour exactly.
     """
 
     def __init__(
@@ -76,15 +91,42 @@ class TaskChecker:
         problem: DecisionProblem,
         max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
         cache: CacheSpec = None,
+        preflight: bool = True,
     ) -> None:
         self._system = resolve_cache(system, cache)
         self._problem = problem
         self._budget = Budget.of(max_states)
+        self._preflight = preflight
+
+    def _preflight_gate(
+        self, roots, input_facet: Optional[Simplex]
+    ) -> Optional[TaskReport]:
+        """Run the contract preflight once; the ILL_FORMED report if it
+        failed, else None."""
+        if not self._preflight:
+            return None
+        from repro.lint.contracts import preflight_once
+
+        report = preflight_once(self._system, roots)
+        if report is None or report.ok:
+            return None
+        return TaskReport(
+            verdict=Verdict.ILL_FORMED,
+            input_facet=input_facet,
+            execution=None,
+            cycle=None,
+            detail=report.describe(),
+            states_explored=0,
+            preflight=report,
+        )
 
     def check(
         self, initial_state: GlobalState, input_facet: Simplex
     ) -> TaskReport:
         """Check all runs from the initial state of one input facet."""
+        refused = self._preflight_gate([initial_state], input_facet)
+        if refused is not None:
+            return refused
         system = self._system
         problem = self._problem
         helper = ConsensusChecker(system, self._budget)

@@ -103,16 +103,21 @@ def verify_protocol_solves(
     max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
     models: Optional[dict] = None,
     cache: CacheSpec = True,
+    preflight: bool = True,
 ) -> dict[str, TaskReport]:
     """Exhaustively check a protocol against a task in each 1-resilient
     layered submodel; returns the per-model reports.
 
     Each model gets its own memoization cache (``cache=False`` disables,
-    an int bounds it); reports are identical either way."""
+    an int bounds it); reports are identical either way.  ``preflight``
+    (default on) contract-probes each layered system first, diagnosing an
+    ill-formed protocol as ``ILL_FORMED`` instead of exploring it."""
     systems = models or one_resilient_layerings(protocol, problem.n)
     reports = {}
     for name, layering in systems.items():
-        checker = TaskChecker(layering, problem, max_states, cache=cache)
+        checker = TaskChecker(
+            layering, problem, max_states, cache=cache, preflight=preflight
+        )
         reports[name] = checker.check_all(layering.model)
     return reports
 
@@ -124,6 +129,7 @@ def corollary_7_3_row(
     max_input_set_size: Optional[int] = None,
     max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
     cache: CacheSpec = True,
+    preflight: bool = True,
 ) -> SolvabilityRow:
     """One task's row of the solvability matrix (see module docstring)."""
     thick = problem_is_k_thick_connected(
@@ -136,7 +142,8 @@ def corollary_7_3_row(
     if solver is not None:
         reports = dict(
             verify_protocol_solves(
-                problem, solver, max_states=max_states, cache=cache
+                problem, solver, max_states=max_states, cache=cache,
+                preflight=preflight,
             )
         )
     return SolvabilityRow(
@@ -149,11 +156,14 @@ def defeat_in_every_model(
     candidate: DualProtocol,
     max_states: Union[int, Budget] = DEFAULT_MAX_STATES,
     cache: CacheSpec = True,
+    preflight: bool = True,
 ) -> dict[str, TaskReport]:
     """Run a candidate for an *unsolvable* task through every submodel and
     return the per-model defeat reports (none may be SATISFIED — that is
     what the callers assert, mirroring Theorem 7.2's contrapositive)."""
-    reports = verify_protocol_solves(problem, candidate, max_states, cache=cache)
+    reports = verify_protocol_solves(
+        problem, candidate, max_states, cache=cache, preflight=preflight
+    )
     return reports
 
 

@@ -59,7 +59,12 @@ class TestToyVerdicts:
             },
             decisions={"a": {0: 0}, "b": {0: 1, 1: 1}},
         )
-        report = ConsensusChecker(sys).check(sys.state("x"), (0, 1))
+        # preflight=False: this exercises the checker's own in-exploration
+        # write-once guard; the contract preflight would (correctly) refuse
+        # the system as ILL_FORMED before the BFS ever ran.
+        report = ConsensusChecker(sys, preflight=False).check(
+            sys.state("x"), (0, 1)
+        )
         assert report.verdict is Verdict.WRITE_ONCE
 
     def test_faulty_starvation_is_not_decision_violation(self):

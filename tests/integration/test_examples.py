@@ -1,5 +1,14 @@
-"""Smoke tests: every example script runs and prints its headline."""
+"""Smoke tests: every example script runs and prints its headline.
 
+The scripts honor ``REPRO_MAX_STATES`` (each exploration budget is
+capped by it); the smoke run sets a tight cap — large enough for every
+n=3 exploration to complete, small enough that a runaway regression
+trips the budget instead of eating the CI runner — and still demands
+exit 0 plus the headline output.  CI's examples-smoke job runs the same
+contract straight from the shell.
+"""
+
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -7,6 +16,9 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+#: The tight smoke budget (states per exploration).
+SMOKE_MAX_STATES = "200000"
 
 CASES = {
     "quickstart.py": [
@@ -45,6 +57,7 @@ def test_example_runs(script):
         capture_output=True,
         text=True,
         timeout=900,
+        env={**os.environ, "REPRO_MAX_STATES": SMOKE_MAX_STATES},
     )
     assert result.returncode == 0, result.stderr[-2000:]
     for needle in CASES[script]:

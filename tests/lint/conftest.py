@@ -1,0 +1,19 @@
+"""Shared fixtures for the replint tests.
+
+The contract preflight memoizes clean systems per process; tests must
+not observe each other's memo entries, so it is cleared around every
+test in this package.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint.contracts import _clear_memo
+
+
+@pytest.fixture(autouse=True)
+def fresh_preflight_memo():
+    _clear_memo()
+    yield
+    _clear_memo()

@@ -1,0 +1,363 @@
+"""Static rule tests: one deliberately ill-formed snippet per code.
+
+Each fixture is the smallest protocol-shaped module exhibiting exactly
+the defect its rule exists to catch; the assertions pin the stable code
+and the reported location, which are API (tests, CI logs and user
+suppressions all key on them).
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint import LintError, lint_paths, lint_source
+from repro.lint.ast_rules import AST_RULES
+from repro.lint.engine import all_rules, resolve_codes, rule_table
+
+
+def _lint(snippet: str, **kwargs):
+    return lint_source(textwrap.dedent(snippet), **kwargs)
+
+
+def _codes(findings):
+    return {f.code for f in findings}
+
+
+class TestRP101Nondeterminism:
+    def test_random_module_call(self):
+        findings = _lint(
+            """\
+            import random
+
+            class Coin(Protocol):
+                def step(self, state):
+                    return random.choice([0, 1])
+            """
+        )
+        assert _codes(findings) == {"RP101"}
+        assert findings[0].line == 5
+        assert "random.choice" in findings[0].message
+
+    def test_time_and_bare_names(self):
+        findings = _lint(
+            """\
+            import time
+            from random import randint
+
+            class Clocked(SomeModel):
+                def successors(self, state):
+                    return [(time.time(), randint(0, 1), id(state))]
+            """
+        )
+        assert _codes(findings) == {"RP101"}
+        assert len(findings) == 3  # time.time, randint, id
+
+    def test_outside_system_class_is_fine(self):
+        findings = _lint(
+            """\
+            import random
+
+            def benchmark_seed():
+                return random.random()
+            """
+        )
+        assert findings == []
+
+
+class TestRP102UnorderedIteration:
+    def test_for_over_set_literal(self):
+        findings = _lint(
+            """\
+            class Flood(Protocol):
+                def step(self, peers):
+                    out = []
+                    for p in {1, 2, 3}:
+                        out.append(p)
+                    return out
+            """
+        )
+        assert _codes(findings) == {"RP102"}
+        assert findings[0].line == 4
+
+    def test_comprehension_over_set_call(self):
+        findings = _lint(
+            """\
+            class Flood(Layering):
+                def step(self, peers):
+                    return [p for p in set(peers)]
+            """
+        )
+        assert _codes(findings) == {"RP102"}
+
+    def test_sorted_set_is_fine(self):
+        findings = _lint(
+            """\
+            class Flood(Protocol):
+                def step(self, peers):
+                    return [p for p in sorted(set(peers))]
+            """
+        )
+        assert findings == []
+
+
+class TestRP103ArgumentMutation:
+    def test_mutator_method_on_argument(self):
+        findings = _lint(
+            """\
+            class Sloppy(Protocol):
+                def step(self, state, inbox):
+                    inbox.append("seen")
+                    return state
+            """
+        )
+        assert _codes(findings) == {"RP103"}
+        assert "inbox.append" in findings[0].message
+
+    def test_subscript_assignment_to_argument(self):
+        findings = _lint(
+            """\
+            class Sloppy(SharedMemoryModel):
+                def apply(self, state):
+                    state.registers[0] = 1
+                    return state
+            """
+        )
+        assert _codes(findings) == {"RP103"}
+
+    def test_object_setattr_backdoor(self):
+        findings = _lint(
+            """\
+            class Sloppy(Protocol):
+                def step(self, state):
+                    object.__setattr__(state, "round", 2)
+                    return state
+            """
+        )
+        assert _codes(findings) == {"RP103"}
+
+    def test_local_mutation_is_fine(self):
+        findings = _lint(
+            """\
+            class Tidy(Protocol):
+                def step(self, state):
+                    out = []
+                    out.append(state)
+                    return tuple(out)
+            """
+        )
+        assert findings == []
+
+
+class TestRP104EqWithoutHash:
+    def test_eq_without_hash(self):
+        findings = _lint(
+            """\
+            class LocalState:
+                def __eq__(self, other):
+                    return True
+            """
+        )
+        assert _codes(findings) == {"RP104"}
+        assert "'LocalState'" in findings[0].message
+
+    def test_eq_with_hash_is_fine(self):
+        findings = _lint(
+            """\
+            class LocalState:
+                def __eq__(self, other):
+                    return True
+
+                def __hash__(self):
+                    return 0
+            """
+        )
+        assert findings == []
+
+    def test_explicit_hash_assignment_counts(self):
+        findings = _lint(
+            """\
+            class LocalState:
+                __hash__ = None
+
+                def __eq__(self, other):
+                    return True
+            """
+        )
+        assert findings == []
+
+
+class TestRP105StatefulProtocol:
+    def test_self_mutation_outside_init(self):
+        findings = _lint(
+            """\
+            class Counter(Protocol):
+                def __init__(self):
+                    self.rounds = 0
+
+                def step(self, state):
+                    self.rounds += 1
+                    return state
+            """
+        )
+        assert _codes(findings) == {"RP105"}
+        assert findings[0].line == 6
+        assert "self.rounds" in findings[0].message
+
+    def test_init_assignment_is_fine(self):
+        findings = _lint(
+            """\
+            class Fixed(Protocol):
+                def __init__(self, quorum):
+                    self.quorum = quorum
+            """
+        )
+        assert findings == []
+
+    def test_models_are_not_in_scope(self):
+        # RP105 is a *protocol* statelessness rule; models own mutable
+        # machinery (caches, interners) by design.
+        findings = _lint(
+            """\
+            class Lazy(SomeModel):
+                def warm(self):
+                    self.cache = {}
+            """
+        )
+        assert findings == []
+
+
+class TestRP301SwallowedBudget:
+    def test_bare_except(self):
+        findings = _lint(
+            """\
+            def drive(checker):
+                try:
+                    return checker.check_all()
+                except:
+                    return None
+            """
+        )
+        assert _codes(findings) == {"RP301"}
+
+    def test_broad_except_without_reraise(self):
+        findings = _lint(
+            """\
+            def drive(checker):
+                try:
+                    return checker.check_all()
+                except Exception as exc:
+                    print(exc)
+            """
+        )
+        assert _codes(findings) == {"RP301"}
+
+    def test_reraise_is_fine(self):
+        findings = _lint(
+            """\
+            def drive(checker):
+                try:
+                    return checker.check_all()
+                except Exception:
+                    raise
+            """
+        )
+        assert findings == []
+
+    def test_specific_except_is_fine(self):
+        findings = _lint(
+            """\
+            def drive(checker):
+                try:
+                    return checker.check_all()
+                except ValueError:
+                    return None
+            """
+        )
+        assert findings == []
+
+
+class TestRP999SyntaxError:
+    def test_unparseable_source_is_a_finding(self):
+        findings = _lint("def broken(:\n")
+        assert _codes(findings) == {"RP999"}
+        assert findings[0].line == 1
+        assert "syntax error" in findings[0].message
+
+
+class TestSelection:
+    def test_select_restricts(self):
+        source = """\
+            import random
+
+            class Coin(Protocol):
+                def step(self, state, inbox):
+                    inbox.append(1)
+                    return random.random()
+        """
+        every = _lint(source)
+        assert _codes(every) == {"RP101", "RP103"}
+        only_103 = _lint(source, codes=resolve_codes(select=["RP103"]))
+        assert _codes(only_103) == {"RP103"}
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(LintError, match="RP777"):
+            resolve_codes(select=["RP777"])
+        with pytest.raises(LintError, match="RP000"):
+            resolve_codes(ignore=["RP000"])
+
+    def test_ignore_drops_codes(self):
+        codes = resolve_codes(ignore=["RP101"])
+        assert "RP101" not in codes
+        assert "RP102" in codes
+
+    def test_codes_are_case_insensitive(self):
+        assert resolve_codes(select=["rp101"]) == frozenset({"RP101"})
+
+
+class TestRegistry:
+    def test_every_static_rule_is_registered(self):
+        registry = all_rules()
+        for code in AST_RULES:
+            assert registry[code].kind == "ast"
+
+    def test_contract_rules_share_the_namespace(self):
+        registry = all_rules()
+        for code in ("RP201", "RP202", "RP203", "RP204", "RP205"):
+            assert registry[code].kind == "contract"
+
+    def test_rule_table_is_sorted_by_code(self):
+        codes = [row[0] for row in rule_table()]
+        assert codes == sorted(codes)
+
+
+class TestPaths:
+    def test_lint_paths_walks_directories(self, tmp_path):
+        pkg = tmp_path / "protocols"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text(
+            "import random\n"
+            "class Coin(Protocol):\n"
+            "    def step(self):\n"
+            "        return random.random()\n"
+        )
+        (pkg / "good.py").write_text("X = 1\n")
+        findings = lint_paths([str(tmp_path)])
+        assert _codes(findings) == {"RP101"}
+        assert findings[0].path.endswith("bad.py")
+
+    def test_missing_path_is_a_lint_error(self, tmp_path):
+        with pytest.raises(LintError, match="no such file"):
+            lint_paths([str(tmp_path / "gone.py")])
+
+    def test_finding_format_is_path_line_col_code(self, tmp_path):
+        file = tmp_path / "bad.py"
+        file.write_text(
+            "class S(Protocol):\n"
+            "    def step(self, box):\n"
+            "        box.clear()\n"
+        )
+        (finding,) = lint_paths([str(file)])
+        assert finding.format().startswith(f"{file}:3:")
+        assert " RP103 " in finding.format()

@@ -1,0 +1,116 @@
+"""`repro lint` CLI tests: exit codes, selection flags, targets.
+
+The lint subcommand follows lint convention, not the experiment
+convention: 0 = every target clean, 1 = findings reported, 2 = the
+analysis itself failed.  Findings go to stdout (machine-consumable,
+``path:line:col: CODE message``); status chatter goes through the
+``repro`` logger to stderr.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+BAD_PROTOCOL = (
+    "import random\n"
+    "\n"
+    "class Coin(Protocol):\n"
+    "    def step(self, state, inbox):\n"
+    "        inbox.append('seen')\n"
+    "        return random.choice([0, 1])\n"
+)
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    path = tmp_path / "coin.py"
+    path.write_text(BAD_PROTOCOL)
+    return path
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "tidy.py"
+    path.write_text("class Tidy(Protocol):\n    def step(self, s):\n        return s\n")
+    return path
+
+
+class TestExitCodes:
+    def test_clean_target_exits_zero(self, clean_file, capsys):
+        assert main(["lint", str(clean_file)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_findings_exit_one(self, bad_file, capsys):
+        assert main(["lint", str(bad_file)]) == 1
+        out = capsys.readouterr().out
+        assert "RP101" in out and "RP103" in out
+        assert f"{bad_file}:5:" in out  # path:line:col lines on stdout
+
+    def test_unknown_rule_code_exits_two(self, bad_file, capsys):
+        assert main(["lint", "--select", "RP777", str(bad_file)]) == 2
+
+    def test_missing_path_exits_two(self, tmp_path):
+        assert main(["lint", str(tmp_path / "gone.py")]) == 2
+
+    def test_no_target_exits_two(self):
+        assert main(["lint"]) == 2
+
+
+class TestSelection:
+    def test_select_narrows_findings(self, bad_file, capsys):
+        assert main(["lint", "--select", "RP103", str(bad_file)]) == 1
+        out = capsys.readouterr().out
+        assert "RP103" in out and "RP101" not in out
+
+    def test_ignore_can_silence_everything(self, bad_file):
+        assert (
+            main(["lint", "--ignore", "RP101,RP103", str(bad_file)]) == 0
+        )
+
+
+class TestListRules:
+    def test_lists_static_and_contract_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RP101", "RP105", "RP201", "RP205", "RP301"):
+            assert code in out
+        assert "ast" in out and "contract" in out
+
+
+class TestSystemTarget:
+    def test_shipped_protocol_preflights_clean(self, capsys):
+        # The contract probe over a real (protocol, layering) pair: the
+        # shipped systems must pass their own preflight.
+        code = main(
+            [
+                "lint", "--protocol", "quorum",
+                "--model", "permutation-mp", "--n", "3",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == ""
+
+
+class TestParser:
+    def test_lint_accepts_paths_and_flags(self):
+        args = build_parser().parse_args(
+            ["lint", "--select", "RP101", "src", "examples"]
+        )
+        assert args.paths == ["src", "examples"]
+        assert args.select == "RP101"
+
+    def test_no_preflight_flag_reaches_namespace(self):
+        args = build_parser().parse_args(["--no-preflight", "lower-bound"])
+        assert args.preflight is False
+        args = build_parser().parse_args(["lower-bound"])
+        assert args.preflight is True
+
+    def test_exact_long_options_still_parse(self):
+        # allow_abbrev is off (two --no-* flags made --n ambiguous);
+        # the exact spellings used throughout the docs must keep working.
+        args = build_parser().parse_args(
+            ["--no-cache", "lint", "--protocol", "quorum", "--n", "4"]
+        )
+        assert args.n == 4 and args.cache is False
