@@ -46,6 +46,7 @@ from repro.models.mobile import MobileModel
 from repro.models.shared_memory import SharedMemoryModel
 from repro.protocols.base import DualProtocol, MessagePassingProtocol
 from repro.resilience.budget import Budget, DEFAULT_MAX_STATES
+from repro.resilience.chaos import crashpoint
 from repro.resilience.checkpoint import CampaignCheckpoint
 from repro.resilience.pool import PoolConfig
 
@@ -163,6 +164,7 @@ def refute_candidate(
         )
         for name, layering in layerings.items()
     ]
+    crashpoint("driver.impossibility.campaign")
     results = run_campaign(
         units, campaign=campaign, workers=workers, pool=pool, on_unit=on_unit
     )

@@ -30,6 +30,7 @@ from repro.protocols.tasks import (
     KSetAgreementProtocol,
 )
 from repro.resilience.budget import Budget, DEFAULT_MAX_STATES
+from repro.resilience.chaos import crashpoint
 from repro.resilience.pool import PoolConfig, run_units
 from repro.tasks.catalog import CATALOG, EXPECTED_SOLVABLE
 from repro.tasks.covering import Covering, OutcomeAnalyzer
@@ -165,9 +166,11 @@ def solvability_matrix(
             else:
                 entries[name] = outcome.value
         return entries
-    return {
-        name: _matrix_unit(payload) for name, payload in units
-    }
+    entries_serial: dict[str, MatrixEntry] = {}
+    for name, payload in units:
+        crashpoint("driver.solvability.unit")
+        entries_serial[name] = _matrix_unit(payload)
+    return entries_serial
 
 
 def lemma_7_1_run(

@@ -43,6 +43,7 @@ from repro.protocols.base import MessagePassingProtocol
 from repro.protocols.eig import EIG
 from repro.protocols.floodset import FloodSet
 from repro.resilience.budget import Budget, DEFAULT_MAX_STATES
+from repro.resilience.chaos import crashpoint
 from repro.resilience.checkpoint import CampaignCheckpoint
 from repro.resilience.pool import PoolConfig
 
@@ -90,6 +91,7 @@ def _campaign_rows(
     """Run ``(label, key, unit, n, t, rounds)`` specs through the shared
     campaign engine and rebuild the table rows, truncated (like the
     sequential loop always was) at the first inconclusive unit."""
+    crashpoint("driver.lower_bound.campaign")
     results = run_campaign(
         [(key, unit) for _, key, unit, *_ in specs],
         campaign=campaign,

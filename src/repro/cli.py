@@ -28,7 +28,18 @@ Resource limits and resumability (the resilience layer):
   frontier.  ``lower-bound`` and ``impossibility`` support this;
   the other subcommands accept the flags but run strict analyses whose
   partial results are not checkpointable.
-* Ctrl-C exits with code 130, after writing the checkpoint if requested.
+* Checkpoints are written as an append-only **journal**
+  (:mod:`repro.resilience.journal`): one small record per finished unit
+  (fsync cadence set by ``--checkpoint-interval``, default every unit),
+  self-healing on load if a crash tore the final record.  Legacy
+  whole-file checkpoints still resume (they are migrated into a journal
+  at the write target).
+* Ctrl-C and SIGTERM exit with code 130, after writing the checkpoint
+  if requested.
+* ``repro chaos -- <subcommand ...>`` turns the crash tolerance on
+  itself: it kills a fresh run at every reachable crashpoint
+  (``kill -9`` mid-append, mid-rename, mid-merge, ...), resumes from
+  disk, and requires stdout byte-identical to an uninterrupted run.
 
 Parallel execution (``lower-bound``, ``impossibility``, ``solvability``):
 
@@ -72,6 +83,8 @@ only warnings, ``-v`` adds per-attempt worker-pool detail.  Results
 from __future__ import annotations
 
 import argparse
+import os
+import signal
 import sys
 
 from repro.analysis.reports import render_table, render_verdict_rows
@@ -87,6 +100,7 @@ from repro.resilience.checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
+from repro.resilience.journal import CampaignJournal, is_journal
 from repro.resilience.pool import pool_config_for
 
 log = get_logger("cli")
@@ -107,6 +121,16 @@ def _save_campaign(args: argparse.Namespace) -> None:
     to report: the failure becomes a diagnostic, not a traceback.
     """
     if args.checkpoint and args.campaign is not None:
+        if isinstance(args.campaign, CampaignJournal):
+            # The journal already appended every record as it happened;
+            # make whatever is buffered durable.
+            try:
+                args.campaign.sync()
+            except OSError as exc:
+                log.warning("cannot sync checkpoint journal: %s", exc)
+                return
+            log.info("checkpoint journal synced to %s", args.checkpoint)
+            return
         try:
             save_checkpoint(args.campaign, args.checkpoint)
         except OSError as exc:
@@ -124,6 +148,11 @@ def _autosave(args: argparse.Namespace):
     final :func:`_save_campaign` reports them once.
     """
     if not (args.checkpoint and args.campaign is not None):
+        return None
+    if isinstance(args.campaign, CampaignJournal):
+        # A journal persists each record/suspend the moment the campaign
+        # engine applies it — a per-unit whole-file rewrite would undo
+        # exactly the O(1)-per-unit property the journal exists for.
         return None
 
     def save(_key, _report) -> None:
@@ -482,6 +511,82 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos``: kill/resume sweep over every reachable crashpoint.
+
+    Runs the given campaign argv uninterrupted to capture baseline
+    stdout, enumerates the crashpoints that run reaches, then for each
+    selected (point, hit, mode) kills a fresh run at that exact moment,
+    resumes it from the on-disk checkpoint, and verifies the resumed
+    output is byte-identical to the baseline.  Exit 0: every cycle
+    identical; 1: at least one diverged; 2: nothing reachable/usage.
+    """
+    from repro.resilience.chaos import MODE_STALL, _MODES, chaos_sweep
+
+    argv = list(args.argv)
+    if argv and argv[0] == "--":
+        argv = argv[1:]
+    if not argv:
+        log.error(
+            "chaos: pass the campaign argv after --, e.g. "
+            "repro chaos -- impossibility --protocol quorum --n 3"
+        )
+        return EXIT_INCONCLUSIVE
+    modes = tuple(m for m in args.modes.split(",") if m)
+    bad = [m for m in modes if m not in _MODES or m == MODE_STALL]
+    if bad or not modes:
+        log.error(
+            "chaos: bad --modes %r (choose from kill, exit, raise)",
+            args.modes,
+        )
+        return EXIT_INCONCLUSIVE
+    points = args.points.split(",") if args.points else None
+
+    def progress(result) -> None:
+        log.info(
+            "chaos %s:%d:%s %s%s",
+            result.point,
+            result.hit,
+            result.mode,
+            "ok" if result.ok else "FAIL",
+            f" ({result.detail})" if result.detail else "",
+        )
+
+    sweep = chaos_sweep(
+        argv,
+        workdir=args.workdir,
+        modes=modes,
+        max_hits_per_point=args.max_hits,
+        points=points,
+        seed=args.seed,
+        timeout=args.run_timeout,
+        on_result=progress,
+    )
+    print(f"== Chaos sweep over `repro {' '.join(argv)}` ==\n")
+    rows = [
+        [r.point, r.hit, r.mode, r.killed, r.resumed, r.identical, r.detail]
+        for r in sweep.results
+    ]
+    print(
+        render_table(
+            ["crashpoint", "hit", "mode", "killed", "resumed",
+             "identical", "detail"],
+            rows,
+        )
+    )
+    print("\n" + sweep.describe())
+    if not sweep.results:
+        log.warning(
+            "no crashpoints were reachable for this argv — nothing tested"
+        )
+        return EXIT_INCONCLUSIVE
+    if sweep.ok:
+        print("every kill/resume cycle reproduced the baseline byte-for-byte")
+        return EXIT_OK
+    print("UNEXPECTED: some kill/resume cycle diverged from the baseline!")
+    return EXIT_UNEXPECTED
+
+
 def _add_budget_flags(parser, suppress: bool = False) -> None:
     """The four resilience flags, accepted before or after the subcommand.
 
@@ -513,6 +618,22 @@ def _add_budget_flags(parser, suppress: bool = False) -> None:
         default=default(None),
         metavar="PATH",
         help="resume a campaign previously saved with --checkpoint",
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=default(1),
+        metavar="N",
+        help="fsync the checkpoint journal every N completed units "
+        "(1 = every unit is durable the moment it finishes)",
+    )
+    parser.add_argument(
+        "--compact-every",
+        type=int,
+        default=default(64),
+        metavar="N",
+        help="rewrite the checkpoint journal as one base snapshot once "
+        "N incremental records accumulate",
     )
     parser.add_argument(
         "--workers",
@@ -619,6 +740,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_diameter)
 
     p = sub.add_parser(
+        "chaos",
+        help="kill -9/resume sweep over every reachable crashpoint",
+        description="Run a campaign to a baseline, then kill a fresh run "
+        "at each reachable crashpoint, resume it from the checkpoint "
+        "journal, and require byte-identical stdout.  Pass the campaign "
+        "argv after --, e.g.: repro chaos -- impossibility --protocol "
+        "quorum --n 3",
+    )
+    p.add_argument(
+        "argv",
+        nargs=argparse.REMAINDER,
+        help="the repro subcommand argv to torture (after --)",
+    )
+    p.add_argument(
+        "--modes",
+        default="kill",
+        metavar="M[,M]",
+        help="fault modes to inject: kill (SIGKILL), exit, raise",
+    )
+    p.add_argument(
+        "--max-hits",
+        type=int,
+        default=3,
+        metavar="K",
+        help="kill positions tested per crashpoint (seeded selection)",
+    )
+    p.add_argument(
+        "--points",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated crashpoint names (default: all reachable)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--run-timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="wall-clock bound per campaign subprocess",
+    )
+    p.add_argument(
+        "--workdir",
+        default=None,
+        metavar="DIR",
+        help="directory for checkpoints/traces (default: temporary)",
+    )
+    _add_budget_flags(p, suppress=True)
+    p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
         "lint",
         help="replint: static protocol lint + contract preflight",
         description="Run the static AST rules over source paths and/or "
@@ -679,23 +850,90 @@ def main(argv: list[str] | None = None) -> int:
     )
     args.campaign = None
     if args.resume:
+        target = args.checkpoint or args.resume
         try:
-            loaded = load_checkpoint(args.resume)
+            try:
+                empty = os.path.getsize(args.resume) == 0
+            except OSError as exc:
+                log.warning("cannot resume: %s", exc)
+                return EXIT_INCONCLUSIVE
+            if empty:
+                # A zero-byte file is the signature of dying between
+                # creating the checkpoint and committing any bytes —
+                # nothing was saved, so a fresh start *is* the resume.
+                log.warning(
+                    "%s is empty (the previous run died before saving "
+                    "anything); starting the campaign from scratch",
+                    args.resume,
+                )
+                args.campaign = CampaignJournal.create(
+                    target,
+                    checkpoint_interval=args.checkpoint_interval,
+                    compact_every=args.compact_every,
+                )
+            elif is_journal(args.resume) and target == args.resume:
+                args.campaign = CampaignJournal.resume(
+                    target,
+                    checkpoint_interval=args.checkpoint_interval,
+                    compact_every=args.compact_every,
+                )
+                info = args.campaign.load_info
+                if info is not None and info.healed:
+                    log.warning(
+                        "journal %s had a torn tail (%d byte(s)) — "
+                        "healed, replaying from the last intact record",
+                        args.resume,
+                        info.healed_bytes,
+                    )
+            else:
+                # Legacy whole-file checkpoint (or journal copied to a
+                # new target path): load it, then migrate the campaign
+                # into a fresh journal at the write target.
+                loaded = load_checkpoint(args.resume)
+                if not isinstance(loaded, CampaignCheckpoint):
+                    log.warning(
+                        "cannot resume: %s holds a %s, not a campaign "
+                        "checkpoint",
+                        args.resume,
+                        type(loaded).__name__,
+                    )
+                    return EXIT_INCONCLUSIVE
+                args.campaign = CampaignJournal.adopt(
+                    target,
+                    loaded,
+                    checkpoint_interval=args.checkpoint_interval,
+                    compact_every=args.compact_every,
+                )
         except (OSError, CheckpointMismatch) as exc:
             log.warning("cannot resume: %s", exc)
             return EXIT_INCONCLUSIVE
-        if not isinstance(loaded, CampaignCheckpoint):
-            log.warning(
-                "cannot resume: %s holds a %s, not a campaign checkpoint",
-                args.resume,
-                type(loaded).__name__,
-            )
-            return EXIT_INCONCLUSIVE
-        args.campaign = loaded
-        if not args.checkpoint:
-            args.checkpoint = args.resume
+        args.checkpoint = target
     elif args.checkpoint:
-        args.campaign = CampaignCheckpoint()
+        try:
+            args.campaign = CampaignJournal.create(
+                args.checkpoint,
+                checkpoint_interval=args.checkpoint_interval,
+                compact_every=args.compact_every,
+            )
+        except OSError as exc:
+            # An unwritable journal must not block the analysis itself;
+            # degrade to an in-memory campaign (the final save will
+            # report the real failure once).
+            log.warning("cannot start checkpoint journal: %s", exc)
+            args.campaign = CampaignCheckpoint()
+
+    def _sigterm(signum, frame):
+        # Funnel SIGTERM through the KeyboardInterrupt path so a polite
+        # kill gets the same write-checkpoint-and-exit-130 treatment as
+        # Ctrl-C (process supervisors send SIGTERM first).
+        raise KeyboardInterrupt
+
+    previous_sigterm = None
+    try:
+        previous_sigterm = signal.signal(signal.SIGTERM, _sigterm)
+    except ValueError:
+        # Not the main thread (embedding callers) — Ctrl-C still works.
+        previous_sigterm = None
     try:
         code = args.func(args)
         _log_cache_stats(args)
@@ -718,6 +956,14 @@ def main(argv: list[str] | None = None) -> int:
         log.warning("interrupted")
         _save_campaign(args)
         return EXIT_INTERRUPTED
+    finally:
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
+        if isinstance(args.campaign, CampaignJournal):
+            try:
+                args.campaign.close()
+            except OSError:
+                pass
 
 
 if __name__ == "__main__":  # pragma: no cover - module CLI entry

@@ -69,6 +69,7 @@ from repro.resilience.budget import (
     BudgetStats,
     DEFAULT_MAX_STATES,
 )
+from repro.resilience.chaos import crashpoint
 from repro.resilience.checkpoint import (
     CheckAllCheckpoint,
     ExplorationCheckpoint,
@@ -633,6 +634,7 @@ class ConsensusChecker:
         tripped: Optional[str],
     ) -> ConsensusReport:
         """Build the graceful-degradation report (or raise when strict)."""
+        crashpoint("checker.budget.trip")
         if self._strict:
             raise ExplorationLimitExceeded(
                 f"exploration budget exhausted ({tripped}) after "
@@ -940,6 +942,7 @@ def run_campaign(
 
         def record_finished(outcome: UnitOutcome) -> None:
             if outcome.ok and not outcome.value.inconclusive:
+                crashpoint("campaign.unit.finish")
                 if campaign is not None:
                     campaign.record(outcome.key, outcome.value)
                 if on_unit is not None:
@@ -964,7 +967,9 @@ def run_campaign(
                 if report.checkpoint is not None:
                     campaign.suspend(key, report.checkpoint)
         else:
+            crashpoint("campaign.unit.start")
             report = run_sweep_unit(pending_map[key])
+            crashpoint("campaign.unit.finish")
             if campaign is not None:
                 if report.inconclusive:
                     campaign.suspend(key, report.checkpoint)

@@ -29,6 +29,7 @@ from repro.core.cache import CacheSpec, CacheStats, CachedSystem, resolve_cache
 from repro.core.state import GlobalState
 from repro.core.valence import ExplorationLimitExceeded
 from repro.resilience.budget import Budget, DEFAULT_MAX_STATES
+from repro.resilience.chaos import crashpoint
 from repro.resilience.pool import (
     PoolConfig,
     exception_category,
@@ -329,6 +330,8 @@ def explore(
             if tripped is not None:
                 break
             queue.append(child)
+    if tripped is not None:
+        crashpoint("exploration.budget.trip")
     if tripped is not None and strict:
         raise ExplorationLimitExceeded(
             f"exploration budget exhausted ({tripped}) after "

@@ -19,6 +19,14 @@ provides on top of the core engines:
   crash repeatedly are *quarantined* (reported UNKNOWN with the fault
   cause) instead of aborting the sweep, and results merge back
   deterministically so parallel output equals sequential output.
+* **Crash-anywhere recovery** — :mod:`repro.resilience.chaos` plants
+  named *crashpoints* throughout the engine and sweeps them: a campaign
+  is killed (``SIGKILL``) at every reachable point, resumed from disk,
+  and the resumed verdicts must be byte-identical to an uninterrupted
+  run.  :mod:`repro.resilience.journal` backs this with an append-only,
+  CRC-framed checkpoint journal that self-heals a torn tail, and
+  :mod:`repro.resilience.retry` gives every timeout and retry one
+  deterministic vocabulary (:class:`RetryPolicy` / :class:`Deadline`).
 * **A validated validator** — :mod:`repro.resilience.mutation` injects
   known fault classes (decision flips, early decisions, decision
   overwrites, dropped relays, decision starvation) into shipped
@@ -36,6 +44,14 @@ from repro.resilience.budget import (
     BudgetStats,
     merge_stats,
 )
+from repro.resilience.chaos import (
+    ChaosInjected,
+    ChaosResult,
+    ChaosSweep,
+    active_plan,
+    chaos_sweep,
+    crashpoint,
+)
 from repro.resilience.checkpoint import (
     CampaignCheckpoint,
     CheckAllCheckpoint,
@@ -46,6 +62,10 @@ from repro.resilience.checkpoint import (
     save_checkpoint,
     system_fingerprint,
 )
+from repro.resilience.journal import (
+    CampaignJournal,
+    load_journal,
+)
 from repro.resilience.pool import (
     PoolConfig,
     PoolFault,
@@ -54,6 +74,10 @@ from repro.resilience.pool import (
     exception_category,
     pool_config_for,
     run_units,
+)
+from repro.resilience.retry import (
+    Deadline,
+    RetryPolicy,
 )
 
 _MUTATION_EXPORTS = (
@@ -71,16 +95,26 @@ __all__ = [
     "BudgetMeter",
     "BudgetStats",
     "CampaignCheckpoint",
+    "CampaignJournal",
+    "ChaosInjected",
+    "ChaosResult",
+    "ChaosSweep",
     "CheckAllCheckpoint",
     "CheckpointCorrupt",
     "CheckpointMismatch",
+    "Deadline",
     "ExplorationCheckpoint",
     "PoolConfig",
     "PoolFault",
     "PoolReport",
+    "RetryPolicy",
     "UnitOutcome",
+    "active_plan",
+    "chaos_sweep",
+    "crashpoint",
     "exception_category",
     "load_checkpoint",
+    "load_journal",
     "merge_stats",
     "pool_config_for",
     "run_units",

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.connection
+import queue as queue_mod
 import threading
 import time
 import traceback
@@ -55,6 +56,8 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
 from repro.log import get_logger
+from repro.resilience.chaos import crashpoint
+from repro.resilience.retry import Deadline, RetryPolicy
 
 log = get_logger("pool")
 
@@ -96,6 +99,15 @@ class PoolConfig:
             quarantine; the default 1 means "a unit that crashes twice is
             quarantined".
         retry_backoff: delay before the first retry, doubled per retry.
+        retry_jitter: jitter fraction on retry delays (see
+            :class:`~repro.resilience.retry.RetryPolicy`): each retry
+            waits between 1x and (1+jitter)x the exponential delay, with
+            the spread derived deterministically from
+            ``(retry_seed, unit key, attempt)`` — simultaneous failures
+            of different units no longer retry in lockstep, yet every
+            run reproduces the same delays.  0.0 restores pure
+            exponential backoff.
+        retry_seed: seed for the deterministic jitter.
         heartbeat_interval: how often a busy worker emits a heartbeat.
         stall_timeout: seconds without a heartbeat after which a busy
             worker is declared hung and killed; None disables stall
@@ -106,6 +118,8 @@ class PoolConfig:
     unit_timeout: Optional[float] = None
     max_retries: int = 1
     retry_backoff: float = 0.05
+    retry_jitter: float = 0.5
+    retry_seed: int = 0
     heartbeat_interval: float = 0.2
     stall_timeout: Optional[float] = 10.0
 
@@ -114,6 +128,16 @@ class PoolConfig:
             raise ValueError("workers must be >= 0")
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+
+    def retry_policy(self) -> RetryPolicy:
+        """The pool's retry schedule as a :class:`RetryPolicy` — the one
+        source of truth for both the supervisor and the serial fallback."""
+        return RetryPolicy(
+            max_retries=self.max_retries,
+            base_delay=self.retry_backoff,
+            jitter=self.retry_jitter,
+            seed=self.retry_seed,
+        )
 
 
 @dataclass(frozen=True)
@@ -268,11 +292,22 @@ def _worker_main(worker_id, task_queue, result_conn, fn, heartbeat_interval):
         except Exception:  # supervisor gone: die quietly with it
             pass
 
+    parent = multiprocessing.parent_process()
     while True:
-        item = task_queue.get()
+        # Bounded waits so an orphaned worker notices its supervisor
+        # died (e.g. kill -9 of the driver): blocking forever on the
+        # task queue would leak the process *and* hold the inherited
+        # stdout/stderr pipes open, hanging anything capturing them.
+        try:
+            item = task_queue.get(timeout=1.0)
+        except queue_mod.Empty:
+            if parent is not None and not parent.is_alive():
+                return
+            continue
         if item is None:
             return
         key, attempt, payload = item
+        crashpoint("worker.unit.start")
         send(("start", worker_id, key, attempt, None))
         stop = threading.Event()
         beat = threading.Thread(
@@ -308,13 +343,21 @@ def _worker_main(worker_id, task_queue, result_conn, fn, heartbeat_interval):
         else:
             stop.set()
             beat.join()
+            crashpoint("worker.unit.finish")
             send(("done", worker_id, key, attempt, value))
 
 
 # -- supervisor side ---------------------------------------------------------
 
 class _Worker:
-    """Supervisor-side handle of one worker process."""
+    """Supervisor-side handle of one worker process.
+
+    Hang detection runs on two :class:`~repro.resilience.retry.Deadline`
+    objects armed at dispatch: ``deadline`` bounds the whole attempt
+    (``PoolConfig.unit_timeout``), ``stall`` is re-armed by every
+    heartbeat (``PoolConfig.stall_timeout``) — the same clock vocabulary
+    the retry policy and budget deadlines use.
+    """
 
     __slots__ = (
         "id",
@@ -324,8 +367,8 @@ class _Worker:
         "conn_ok",
         "key",
         "attempt",
-        "started",
-        "last_beat",
+        "deadline",
+        "stall",
     )
 
     def __init__(self, worker_id, process, task_queue, conn):
@@ -336,19 +379,18 @@ class _Worker:
         self.conn_ok = True
         self.key = None
         self.attempt = 0
-        self.started = 0.0
-        self.last_beat = 0.0
+        self.deadline = Deadline.never()
+        self.stall = Deadline.never()
 
     @property
     def busy(self) -> bool:
         return self.key is not None
 
-    def assign(self, key, attempt, payload) -> None:
+    def assign(self, key, attempt, payload, unit_timeout, stall_timeout) -> None:
         self.key = key
         self.attempt = attempt
-        now = time.monotonic()
-        self.started = now
-        self.last_beat = now
+        self.deadline = Deadline.after(unit_timeout)
+        self.stall = Deadline.after(stall_timeout)
         self.queue.put((key, attempt, payload))
 
     def release(self) -> None:
@@ -383,6 +425,7 @@ class _Supervisor:
         self._fn = fn
         self._units = list(units)
         self._config = config
+        self._retry_policy = config.retry_policy()
         self._on_complete = on_complete
         self._ctx = multiprocessing.get_context()
         self._workers: list[_Worker] = []
@@ -475,7 +518,14 @@ class _Supervisor:
             unit = ready.pop(0)
             self._pending.remove(unit)
             self._dispatched_at.setdefault(unit.key, now)
-            worker.assign(unit.key, unit.attempt, unit.payload)
+            crashpoint("pool.dispatch")
+            worker.assign(
+                unit.key,
+                unit.attempt,
+                unit.payload,
+                self._config.unit_timeout,
+                self._config.stall_timeout,
+            )
 
     def _drain(self, timeout: float) -> None:
         # Each worker reports over its own pipe: a worker SIGKILLed
@@ -521,7 +571,7 @@ class _Supervisor:
         )
         if kind == "beat" or kind == "start":
             if current:
-                worker.last_beat = time.monotonic()
+                worker.stall = Deadline.after(self._config.stall_timeout)
             return
         if not current or key in self._outcomes:
             return  # stale message from a superseded attempt
@@ -557,20 +607,14 @@ class _Supervisor:
                 continue
             if not worker.busy:
                 continue
-            if (
-                config.unit_timeout is not None
-                and now - worker.started > config.unit_timeout
-            ):
+            if worker.deadline.expired(now):
                 self._kill_and_fail(
                     index,
                     FAULT_TIMEOUT,
                     f"attempt exceeded unit timeout "
                     f"({config.unit_timeout:g}s)",
                 )
-            elif (
-                config.stall_timeout is not None
-                and now - worker.last_beat > config.stall_timeout
-            ):
+            elif worker.stall.expired(now):
                 self._kill_and_fail(
                     index,
                     FAULT_STALL,
@@ -590,6 +634,7 @@ class _Supervisor:
 
     # -- outcome accounting -------------------------------------------------
     def _finish(self, key, attempt, value) -> None:
+        crashpoint("pool.merge")
         outcome = UnitOutcome(
             key=key,
             status=UNIT_OK,
@@ -613,7 +658,7 @@ class _Supervisor:
         self._unit_faults[key].append(fault)
         config = self._config
         if attempt <= config.max_retries:
-            delay = config.retry_backoff * (2 ** (attempt - 1))
+            delay = self._retry_policy.delay(key, attempt)
             log.debug(
                 "unit %r attempt %d failed (%s); retrying in %.2fs",
                 key, attempt, kind, delay,
@@ -663,6 +708,7 @@ class _Supervisor:
 def _run_serial(fn, units, config, on_complete) -> PoolReport:
     outcomes: dict = {}
     faults: list[PoolFault] = []
+    policy = config.retry_policy()
     started = time.monotonic()
     for key, payload in units:
         if key in outcomes:
@@ -673,7 +719,9 @@ def _run_serial(fn, units, config, on_complete) -> PoolReport:
         while True:
             attempt += 1
             try:
+                crashpoint("worker.unit.start")
                 value = fn(payload)
+                crashpoint("worker.unit.finish")
             except KeyboardInterrupt:
                 raise
             except Exception as exc:
@@ -687,7 +735,7 @@ def _run_serial(fn, units, config, on_complete) -> PoolReport:
                 faults.append(fault)
                 unit_faults.append(fault)
                 if attempt <= config.max_retries:
-                    time.sleep(config.retry_backoff * (2 ** (attempt - 1)))
+                    time.sleep(policy.delay(key, attempt))
                     continue
                 outcome = UnitOutcome(
                     key=key,

@@ -1,0 +1,133 @@
+"""One retry/deadline vocabulary for every timeout in the library.
+
+Before this module the resilience layer had three separate clocks: the
+worker pool computed raw exponential backoff inline (twice — supervisor
+and serial fallback), per-attempt unit timeouts were hand-compared
+against ``time.monotonic()``, and budget deadlines lived in
+:mod:`repro.resilience.budget`.  Scattered timing logic is exactly what a
+crashpoint chaos sweep cannot tolerate: recovery behaviour must be a
+pure function of configuration, not of which copy of the backoff formula
+a code path happened to inline.
+
+Two abstractions unify it:
+
+* :class:`RetryPolicy` — bounded exponential backoff with **seeded,
+  deterministic jitter**.  The jitter is derived by hashing
+  ``(seed, key, attempt)``, so simultaneous failures of *different*
+  units spread out (no retry lockstep) while the *same* unit in the
+  same configuration delays identically across runs — reproducibility
+  under the chaos harness is preserved by construction.  No global RNG
+  is consulted and none is perturbed.
+* :class:`Deadline` — an immutable point on the monotonic clock with
+  ``expired()`` / ``remaining()`` queries and a never-expiring sentinel,
+  replacing ad-hoc ``now - started > limit`` comparisons (the pool's
+  per-attempt unit timeout and heartbeat-stall detection both run on
+  it).
+
+Both are picklable value objects, safe to ship across process
+boundaries inside a :class:`~repro.resilience.pool.PoolConfig`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Deadline", "RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic seeded jitter.
+
+    Attributes:
+        max_retries: how many retries are allowed after the first
+            attempt; :meth:`should_retry` answers per attempt number.
+        base_delay: delay before the first retry, in seconds.
+        multiplier: growth factor per further retry (2.0 = doubling).
+        jitter: fraction of the exponential delay added as spread: the
+            delay for attempt ``a`` of unit ``key`` lies in
+            ``[d, d * (1 + jitter))`` with ``d = base_delay *
+            multiplier**(a-1)``.  0.0 reproduces pure exponential
+            backoff exactly.
+        seed: jitter seed.  The same (seed, key, attempt) triple always
+            yields the same delay; different keys spread independently.
+    """
+
+    max_retries: int = 1
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_delay < 0:
+            raise ValueError("base_delay must be >= 0")
+        if self.jitter < 0:
+            raise ValueError("jitter must be >= 0")
+
+    def should_retry(self, attempt: int) -> bool:
+        """Whether a failed ``attempt`` (1-based) may be retried."""
+        return attempt <= self.max_retries
+
+    def fraction(self, key: object, attempt: int) -> float:
+        """The deterministic jitter fraction in ``[0, 1)`` for one retry.
+
+        A SHA-256 over the ``(seed, key, attempt)`` triple, reduced to 8
+        bytes: stable across processes and Python versions (unlike
+        ``hash()``, which is salted per interpreter), and statistically
+        spread across keys.
+        """
+        token = f"{self.seed}:{key!r}:{attempt}".encode()
+        digest = hashlib.sha256(token).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def delay(self, key: object, attempt: int) -> float:
+        """Seconds to wait before retrying ``attempt`` (1-based) of *key*."""
+        base = self.base_delay * self.multiplier ** (attempt - 1)
+        return base * (1.0 + self.jitter * self.fraction(key, attempt))
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """A point on the monotonic clock, or never.
+
+    ``at`` is an absolute :func:`time.monotonic` instant (``None`` means
+    the deadline never expires).  Construct with :meth:`after` /
+    :meth:`never`; compare with :meth:`expired` / :meth:`remaining`.
+    """
+
+    at: Optional[float] = None
+
+    @classmethod
+    def after(cls, seconds: Optional[float]) -> "Deadline":
+        """A deadline *seconds* from now (never, when seconds is None)."""
+        if seconds is None:
+            return cls(None)
+        return cls(time.monotonic() + seconds)
+
+    @classmethod
+    def never(cls) -> "Deadline":
+        """The never-expiring deadline."""
+        return cls(None)
+
+    @property
+    def unbounded(self) -> bool:
+        return self.at is None
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """True once the monotonic clock has passed the deadline."""
+        if self.at is None:
+            return False
+        return (time.monotonic() if now is None else now) > self.at
+
+    def remaining(self, now: Optional[float] = None) -> Optional[float]:
+        """Seconds left (clamped at 0.0); None for a never-deadline."""
+        if self.at is None:
+            return None
+        left = self.at - (time.monotonic() if now is None else now)
+        return max(0.0, left)

@@ -169,6 +169,41 @@ class TestAtomicSave:
         assert proc.exitcode == -signal.SIGKILL
         assert load_checkpoint(path).completed == {"unit": "v1"}
 
+    def test_directory_fsynced_after_rename(self, tmp_path, monkeypatch):
+        """Durability needs three steps in order: fsync the temp file,
+        rename it over the target, fsync the *directory* — without the
+        last one a power failure can roll the rename back even though
+        os.replace already returned."""
+        import os as os_module
+        import stat as stat_module
+
+        events = []
+        real_fsync = os_module.fsync
+        real_replace = os_module.replace
+
+        def spy_fsync(fd):
+            mode = os_module.fstat(fd).st_mode
+            events.append(
+                ("fsync", "dir" if stat_module.S_ISDIR(mode) else "file")
+            )
+            real_fsync(fd)
+
+        def spy_replace(src, dst):
+            events.append(("rename", None))
+            real_replace(src, dst)
+
+        monkeypatch.setattr(os_module, "fsync", spy_fsync)
+        monkeypatch.setattr(os_module, "replace", spy_replace)
+        save_checkpoint(
+            CampaignCheckpoint(completed={"unit": "v1"}),
+            tmp_path / "campaign.ckpt",
+        )
+        assert events == [
+            ("fsync", "file"),
+            ("rename", None),
+            ("fsync", "dir"),
+        ]
+
     def test_failed_save_cleans_temp_and_keeps_old(
         self, tmp_path, monkeypatch
     ):

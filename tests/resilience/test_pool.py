@@ -166,6 +166,79 @@ class TestExceptionsAndTimeouts:
         assert any(f.kind == FAULT_TIMEOUT for f in hung.faults)
 
 
+class TestRetryJitter:
+    """Retry backoff carries deterministic seeded jitter (RetryPolicy):
+    different units spread out instead of retrying in lockstep, yet the
+    same configuration reproduces the same delays run after run."""
+
+    def _serial_delays(self, monkeypatch, seed=0):
+        import repro.resilience.pool as pool_module
+
+        slept: list[float] = []
+        monkeypatch.setattr(
+            pool_module.time, "sleep", lambda s: slept.append(s)
+        )
+        run_units(
+            _always_raise,
+            [("u:a", 1), ("u:b", 2), ("u:c", 3)],
+            PoolConfig(
+                workers=1,
+                max_retries=2,
+                retry_backoff=0.1,
+                retry_seed=seed,
+            ),
+        )
+        monkeypatch.undo()
+        return slept
+
+    def test_delays_differ_across_units(self, monkeypatch):
+        slept = self._serial_delays(monkeypatch)
+        first_retry = slept[0::2]  # attempt-1 delay of each unit
+        assert len(set(first_retry)) == len(first_retry)
+
+    def test_delays_reproduce_across_runs(self, monkeypatch):
+        assert self._serial_delays(monkeypatch) == self._serial_delays(
+            monkeypatch
+        )
+
+    def test_delays_vary_with_seed(self, monkeypatch):
+        assert self._serial_delays(monkeypatch, seed=0) != self._serial_delays(
+            monkeypatch, seed=1
+        )
+
+    def test_delays_stay_in_jitter_band(self, monkeypatch):
+        slept = self._serial_delays(monkeypatch)
+        # Two retries per unit: attempt 1 in [0.1, 0.15), attempt 2 in
+        # [0.2, 0.3) with the default jitter of 0.5.
+        for first, second in zip(slept[0::2], slept[1::2]):
+            assert 0.1 <= first < 0.15
+            assert 0.2 <= second < 0.3
+
+    def test_policy_mirrors_config(self):
+        config = PoolConfig(
+            retry_backoff=0.25, max_retries=3, retry_jitter=0.1, retry_seed=9
+        )
+        policy = config.retry_policy()
+        assert policy.base_delay == 0.25
+        assert policy.max_retries == 3
+        assert policy.jitter == 0.1
+        assert policy.seed == 9
+
+    def test_supervisor_uses_the_same_policy(self, tmp_path):
+        """The parallel arm must retry with the identical seeded delay
+        the serial arm uses — one formula, one policy object."""
+        config = PoolConfig(workers=2, max_retries=1, retry_backoff=0.01)
+        report = run_units(
+            _kill_once,
+            [("u", (str(tmp_path / "marker"), "ok"))],
+            config,
+        )
+        outcome = report.outcomes["u"]
+        assert outcome.ok and outcome.attempts == 2
+        expected = config.retry_policy().delay("u", 1)
+        assert expected >= 0.01  # the policy governed the retry spacing
+
+
 class TestConfig:
     def test_pool_config_for_none_is_sequential(self):
         assert pool_config_for(None) is None

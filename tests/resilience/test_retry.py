@@ -1,0 +1,99 @@
+"""Unit tests for the shared retry/deadline vocabulary.
+
+RetryPolicy's jitter must be deterministic per (seed, key, attempt) —
+the chaos harness depends on recovery being a pure function of
+configuration — while still spreading different keys apart so retries
+do not stampede in lockstep.
+"""
+
+import pickle
+import time
+
+import pytest
+
+from repro.resilience.retry import Deadline, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_should_retry_bounds(self):
+        policy = RetryPolicy(max_retries=2)
+        assert policy.should_retry(1)
+        assert policy.should_retry(2)
+        assert not policy.should_retry(3)
+
+    def test_zero_retries_never_retries(self):
+        assert not RetryPolicy(max_retries=0).should_retry(1)
+
+    def test_delay_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, jitter=0.0)
+        assert policy.delay("k", 1) == pytest.approx(0.1)
+        assert policy.delay("k", 2) == pytest.approx(0.2)
+        assert policy.delay("k", 3) == pytest.approx(0.4)
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.5)
+        for attempt in (1, 2, 3):
+            base = 0.1 * 2.0 ** (attempt - 1)
+            d = policy.delay("unit", attempt)
+            assert base <= d < base * 1.5
+
+    def test_jitter_is_deterministic(self):
+        a = RetryPolicy(seed=7).delay("unit:x", 1)
+        b = RetryPolicy(seed=7).delay("unit:x", 1)
+        assert a == b
+
+    def test_jitter_differs_across_keys(self):
+        policy = RetryPolicy(seed=0)
+        delays = {policy.delay(f"unit:{i}", 1) for i in range(16)}
+        assert len(delays) == 16  # SHA-256 spread: collisions ~impossible
+
+    def test_jitter_differs_across_seeds(self):
+        assert RetryPolicy(seed=0).delay("k", 1) != RetryPolicy(seed=1).delay(
+            "k", 1
+        )
+
+    def test_fraction_range(self):
+        policy = RetryPolicy()
+        for i in range(64):
+            assert 0.0 <= policy.fraction(f"k{i}", 1) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.5)
+
+    def test_picklable_and_stable_across_roundtrip(self):
+        policy = RetryPolicy(seed=3)
+        clone = pickle.loads(pickle.dumps(policy))
+        assert clone == policy
+        assert clone.delay("k", 2) == policy.delay("k", 2)
+
+
+class TestDeadline:
+    def test_never_never_expires(self):
+        d = Deadline.never()
+        assert d.unbounded
+        assert not d.expired()
+        assert d.remaining() is None
+
+    def test_after_none_is_never(self):
+        assert Deadline.after(None).unbounded
+
+    def test_expiry(self):
+        d = Deadline.after(10.0)
+        now = time.monotonic()
+        assert not d.expired(now)
+        assert d.expired(now + 11.0)
+
+    def test_remaining_clamps_at_zero(self):
+        d = Deadline.after(0.5)
+        now = time.monotonic()
+        assert d.remaining(now) == pytest.approx(0.5, abs=0.05)
+        assert d.remaining(now + 2.0) == 0.0
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Deadline.never().at = 1.0
