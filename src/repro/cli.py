@@ -90,9 +90,16 @@ import sys
 from repro.analysis.reports import render_table, render_verdict_rows
 from repro.core.cache import aggregate_stats
 from repro.core.valence import ExplorationLimitExceeded
+from repro.exitcodes import (
+    EXIT_INCONCLUSIVE,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    EXIT_UNEXPECTED,
+)
 from repro.lint import IllFormedSystemError
 from repro.log import configure as configure_logging
 from repro.log import get_logger
+from repro.protocols.registry import PROTOCOLS
 from repro.resilience.budget import Budget
 from repro.resilience.checkpoint import (
     CampaignCheckpoint,
@@ -104,14 +111,6 @@ from repro.resilience.journal import CampaignJournal, is_journal
 from repro.resilience.pool import pool_config_for
 
 log = get_logger("cli")
-
-#: Exit codes: 0 expected outcome, 1 unexpected (a theorem-contradicting
-#: verdict), 2 inconclusive (budget exhausted before a verdict) or usage
-#: error, 130 interrupted (Ctrl-C, checkpoint written when requested).
-EXIT_OK = 0
-EXIT_UNEXPECTED = 1
-EXIT_INCONCLUSIVE = 2
-EXIT_INTERRUPTED = 130
 
 
 def _save_campaign(args: argparse.Namespace) -> None:
@@ -244,22 +243,6 @@ def _cmd_lower_bound(args: argparse.Namespace) -> int:
         "\ncrossover holds" if ok else "\nUNEXPECTED: crossover violated!"
     )
     return EXIT_OK if ok else EXIT_UNEXPECTED
-
-
-PROTOCOLS = {
-    "quorum": lambda n: __import__(
-        "repro.protocols.candidates", fromlist=["QuorumDecide"]
-    ).QuorumDecide(n - 1),
-    "waitforall": lambda n: __import__(
-        "repro.protocols.candidates", fromlist=["WaitForAll"]
-    ).WaitForAll(),
-    "floodset": lambda n: __import__(
-        "repro.protocols.floodset", fromlist=["FloodSet"]
-    ).FloodSet(2),
-    "eig": lambda n: __import__(
-        "repro.protocols.eig", fromlist=["EIG"]
-    ).EIG(2),
-}
 
 
 def _cmd_impossibility(args: argparse.Namespace) -> int:
@@ -511,6 +494,97 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the verification job server until drained.
+
+    Listens on newline-delimited JSON over TCP, executes jobs on the
+    fault-isolated pool, and persists acceptance/completion in a ledger
+    journal plus a content-addressed verdict store under ``--dir`` so a
+    ``kill -9`` loses nothing acknowledged.  SIGTERM/Ctrl-C drain
+    gracefully and exit 130; a client ``shutdown`` op exits 0.
+    """
+    from repro.serve.server import ServeConfig, run_serve
+
+    config = ServeConfig(
+        dir=args.dir,
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        concurrency=args.concurrency,
+        isolation=args.isolation,
+        job_timeout=args.job_timeout,
+        default_max_states=args.default_max_states,
+        drain_grace=args.drain_grace,
+        tenant_max_states=args.tenant_max_states,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+    )
+    return run_serve(config)
+
+
+def _cmd_chaos_serve(args: argparse.Namespace, modes: tuple) -> int:
+    """The ``repro chaos --serve`` branch: torture the job server."""
+    from repro.resilience.chaos import MODE_EXIT, MODE_KILL
+    from repro.serve.chaos import default_battery, serve_chaos_sweep
+
+    bad = [m for m in modes if m not in (MODE_KILL, MODE_EXIT)]
+    if bad:
+        log.error(
+            "chaos --serve: only process-death modes apply (kill, exit), "
+            "not %s",
+            ",".join(bad),
+        )
+        return EXIT_INCONCLUSIVE
+    points = args.points.split(",") if args.points else None
+
+    def progress(result) -> None:
+        log.info(
+            "chaos %s:%d:%s %s%s",
+            result.point,
+            result.hit,
+            result.mode,
+            "ok" if result.ok else "FAIL",
+            f" ({result.detail})" if result.detail else "",
+        )
+
+    sweep = serve_chaos_sweep(
+        battery=default_battery(args.jobs),
+        workdir=args.workdir,
+        modes=modes,
+        max_hits_per_point=args.max_hits,
+        points=points,
+        seed=args.seed,
+        timeout=args.run_timeout,
+        isolation=args.serve_isolation,
+        on_result=progress,
+    )
+    print("== Chaos sweep over `repro serve` ==\n")
+    rows = [
+        [r.point, r.hit, r.mode, r.killed, r.recovered, r.consistent,
+         r.detail]
+        for r in sweep.results
+    ]
+    print(
+        render_table(
+            ["crashpoint", "hit", "mode", "killed", "recovered",
+             "consistent", "detail"],
+            rows,
+        )
+    )
+    print("\n" + sweep.describe())
+    if not sweep.results:
+        log.warning("no server crashpoints were reachable — nothing tested")
+        return EXIT_INCONCLUSIVE
+    if sweep.ok:
+        print(
+            "every kill/restart cycle recovered: none lost, none "
+            "duplicated, stored verdicts byte-identical"
+        )
+        return EXIT_OK
+    print("UNEXPECTED: some kill/restart cycle lost or corrupted a job!")
+    return EXIT_UNEXPECTED
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     """``repro chaos``: kill/resume sweep over every reachable crashpoint.
 
@@ -520,9 +594,24 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     resumes it from the on-disk checkpoint, and verifies the resumed
     output is byte-identical to the baseline.  Exit 0: every cycle
     identical; 1: at least one diverged; 2: nothing reachable/usage.
+
+    With ``--serve`` the target is the job server instead: kill it at
+    every server crashpoint, restart, and require that no acknowledged
+    job is lost, none runs twice, and stored verdicts byte-match an
+    uninterrupted cycle.
     """
     from repro.resilience.chaos import MODE_STALL, _MODES, chaos_sweep
 
+    modes = tuple(m for m in args.modes.split(",") if m)
+    bad = [m for m in modes if m not in _MODES or m == MODE_STALL]
+    if bad or not modes:
+        log.error(
+            "chaos: bad --modes %r (choose from kill, exit, raise)",
+            args.modes,
+        )
+        return EXIT_INCONCLUSIVE
+    if args.serve:
+        return _cmd_chaos_serve(args, modes)
     argv = list(args.argv)
     if argv and argv[0] == "--":
         argv = argv[1:]
@@ -530,14 +619,6 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         log.error(
             "chaos: pass the campaign argv after --, e.g. "
             "repro chaos -- impossibility --protocol quorum --n 3"
-        )
-        return EXIT_INCONCLUSIVE
-    modes = tuple(m for m in args.modes.split(",") if m)
-    bad = [m for m in modes if m not in _MODES or m == MODE_STALL]
-    if bad or not modes:
-        log.error(
-            "chaos: bad --modes %r (choose from kill, exit, raise)",
-            args.modes,
         )
         return EXIT_INCONCLUSIVE
     points = args.points.split(",") if args.points else None
@@ -786,8 +867,117 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="directory for checkpoints/traces (default: temporary)",
     )
+    p.add_argument(
+        "--serve",
+        action="store_true",
+        help="torture the job server instead of a campaign argv: kill "
+        "it at every server crashpoint, restart, and require no job "
+        "lost, none duplicated, stored verdicts byte-identical",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=5,
+        metavar="J",
+        help="battery size for --serve cycles",
+    )
+    p.add_argument(
+        "--serve-isolation",
+        action="store_true",
+        help="run the server under test with pool process isolation "
+        "(slower cycles; durability results are identical)",
+    )
     _add_budget_flags(p, suppress=True)
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "serve",
+        help="the crash-safe verification job server",
+        description="Serve verification jobs over newline-delimited "
+        "JSON/TCP with bounded admission, per-job deadlines, per-tenant "
+        "quotas, fingerprint dedupe, a durable verdict store, and "
+        "graceful SIGTERM drain (exit 130).  State lives under --dir "
+        "and survives kill -9.",
+    )
+    p.add_argument(
+        "--dir",
+        required=True,
+        metavar="DIR",
+        help="state directory (ledger journal, verdict store, endpoint)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 = pick one; the choice lands in DIR/endpoint)",
+    )
+    p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        metavar="N",
+        help="max accepted-but-unfinished jobs before shedding",
+    )
+    p.add_argument(
+        "--concurrency",
+        type=int,
+        default=2,
+        metavar="N",
+        help="jobs executed at once",
+    )
+    p.add_argument(
+        "--isolation",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run each job in a pool worker process "
+        "(--no-isolation executes in-process; faster, no crash isolation)",
+    )
+    p.add_argument(
+        "--job-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="per-job deadline from acceptance to verdict",
+    )
+    p.add_argument(
+        "--default-max-states",
+        type=int,
+        default=200_000,
+        metavar="N",
+        help="exploration budget for jobs that do not set max_states",
+    )
+    p.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="how long a drain waits for in-flight jobs before exiting "
+        "(unfinished jobs resume from the ledger on restart)",
+    )
+    p.add_argument(
+        "--tenant-max-states",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-tenant explored-state quota (default: unlimited)",
+    )
+    p.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        metavar="K",
+        help="consecutive quarantines that trip the circuit breaker",
+    )
+    p.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="how long a tripped breaker sheds before probing again",
+    )
+    _add_budget_flags(p, suppress=True)
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "lint",

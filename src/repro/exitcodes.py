@@ -1,0 +1,58 @@
+"""Process exit codes shared by the CLI and the job server.
+
+One module owns the numbers so every surface — ``repro`` subcommands,
+``repro serve``, the chaos harness, CI scripts and the tests — agrees on
+what a process death means.  The convention (documented in the README's
+exit-code table):
+
+========================  =====  ==============================================
+name                      value  meaning
+========================  =====  ==============================================
+``EXIT_OK``               0      the expected outcome (theorem holds, lint
+                                 clean, server drained empty)
+``EXIT_UNEXPECTED``       1      an unexpected verdict — a theorem-contradicting
+                                 result, lint findings, a diverged chaos cycle
+``EXIT_INCONCLUSIVE``     2      neither verified nor refuted: budget exhausted,
+                                 usage error, or an internal analysis failure
+``EXIT_INTERRUPTED``      130    stopped by Ctrl-C or SIGTERM after writing any
+                                 requested checkpoint (128 + SIGINT)
+``EXIT_CHAOS_KILLED``     137    the status ``os._exit`` uses for an injected
+                                 chaos death (mirrors 128 + SIGKILL so harnesses
+                                 treat both deaths alike)
+========================  =====  ==============================================
+
+130 follows the shell convention ``128 + signum`` for SIGINT; process
+supervisors send SIGTERM first and the CLI funnels it through the same
+checkpoint-and-exit path, so both polite stops share the code.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "EXIT_CHAOS_KILLED",
+    "EXIT_INCONCLUSIVE",
+    "EXIT_INTERRUPTED",
+    "EXIT_OK",
+    "EXIT_UNEXPECTED",
+]
+
+#: The expected outcome: verdicts match the paper, lint is clean, the
+#: server drained with nothing left behind.
+EXIT_OK = 0
+
+#: An unexpected result: a theorem-contradicting verdict, lint findings,
+#: or a chaos kill/resume cycle that diverged from its baseline.
+EXIT_UNEXPECTED = 1
+
+#: Inconclusive: a budget tripped before a verdict, a usage error, or an
+#: internal failure of the analysis itself.
+EXIT_INCONCLUSIVE = 2
+
+#: Interrupted by Ctrl-C or SIGTERM (128 + SIGINT), after writing the
+#: checkpoint when one was requested.
+EXIT_INTERRUPTED = 130
+
+#: The exit status injected chaos deaths use (128 + SIGKILL), so a
+#: ``mode=exit`` death is indistinguishable from a real ``kill -9`` to
+#: any harness checking return codes.
+EXIT_CHAOS_KILLED = 137

@@ -415,5 +415,89 @@ class SwallowedBudget(AstRule):
         return _dotted_tail(type_node) in self._BROAD
 
 
+@register_ast_rule
+class SwallowedInterrupt(AstRule):
+    """RP302: a BaseException-catching handler kills Ctrl-C / SIGTERM.
+
+    Stricter than RP301 and scoped to the code where it is fatal: in
+    protocol, resilience and serve modules a bare ``except:`` or
+    ``except BaseException`` that does not *bare*-``raise`` turns
+    KeyboardInterrupt and SystemExit into ordinary control flow — the
+    graceful-drain and chaos-recovery paths depend on those propagating.
+    RP301's any-``raise`` escape is not enough here: ``raise Other from
+    exc`` still converts the interrupt.  An explicit sibling
+    ``except KeyboardInterrupt``/``except SystemExit`` handler earlier
+    in the same ``try`` marks the interrupt path as deliberate and
+    exempts the broad handler (the pool's worker loop does exactly
+    this).
+    """
+
+    code = "RP302"
+    summary = (
+        "bare except / except BaseException without bare re-raise in "
+        "protocol/resilience/serve code — swallows KeyboardInterrupt "
+        "and SystemExit, breaking Ctrl-C and graceful drain"
+    )
+
+    #: Path components that put a file inside the rule's scope.
+    _SCOPED_DIRS = frozenset({"protocols", "resilience", "serve"})
+
+    #: Exception names whose explicit sibling handler exempts the
+    #: broad handler: the interrupt path is then handled on purpose.
+    _INTERRUPTS = frozenset({"KeyboardInterrupt", "SystemExit"})
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[LintFinding]:
+        if not self._in_scope(path):
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Try):
+                continue
+            interrupt_handled = False
+            for handler in node.handlers:
+                if self._names_interrupt(handler.type):
+                    interrupt_handled = True
+                    continue
+                if not self._catches_base(handler.type):
+                    continue
+                if interrupt_handled:
+                    continue
+                if any(
+                    isinstance(n, ast.Raise) and n.exc is None
+                    for n in ast.walk(handler)
+                ):
+                    continue
+                label = (
+                    "bare except:"
+                    if handler.type is None
+                    else f"except {_dotted_tail(handler.type)}"
+                )
+                yield self.finding(
+                    handler,
+                    f"{label} without a bare `raise` swallows "
+                    "KeyboardInterrupt/SystemExit; re-raise, narrow "
+                    "the clause, or handle the interrupt explicitly "
+                    "in an earlier except clause",
+                    path,
+                )
+
+    def _in_scope(self, path: str) -> bool:
+        parts = path.replace("\\", "/").split("/")
+        return not self._SCOPED_DIRS.isdisjoint(parts)
+
+    def _catches_base(self, type_node: ast.expr | None) -> bool:
+        if type_node is None:
+            return True
+        if isinstance(type_node, ast.Tuple):
+            return any(self._catches_base(el) for el in type_node.elts)
+        return _dotted_tail(type_node) == "BaseException"
+
+    def _names_interrupt(self, type_node: ast.expr | None) -> bool:
+        if type_node is None:
+            return False
+        if isinstance(type_node, ast.Tuple):
+            return any(self._names_interrupt(el) for el in type_node.elts)
+        return _dotted_tail(type_node) in self._INTERRUPTS
+
+
 #: The static rule codes this module registers, in order.
-AST_RULES = ("RP101", "RP102", "RP103", "RP104", "RP105", "RP301")
+AST_RULES = ("RP101", "RP102", "RP103", "RP104", "RP105", "RP301", "RP302")

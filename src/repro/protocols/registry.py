@@ -1,0 +1,44 @@
+"""Named protocol factories shared by the CLI and the job server.
+
+One registry maps the user-facing protocol names (``--protocol quorum``,
+a job's ``"protocol"`` field) to constructors taking the process count.
+The CLI historically carried this table inline with ``__import__``
+lambdas; the job server needs the same names for job validation and
+fingerprinting, so the table lives here and imports stay lazy (the
+registry must be importable without pulling every protocol module).
+"""
+
+from __future__ import annotations
+
+
+def _quorum(n: int):
+    from repro.protocols.candidates import QuorumDecide
+
+    return QuorumDecide(n - 1)
+
+
+def _waitforall(n: int):
+    from repro.protocols.candidates import WaitForAll
+
+    return WaitForAll()
+
+
+def _floodset(n: int):
+    from repro.protocols.floodset import FloodSet
+
+    return FloodSet(2)
+
+
+def _eig(n: int):
+    from repro.protocols.eig import EIG
+
+    return EIG(2)
+
+
+#: ``name -> factory(n)`` for every protocol the CLI and server accept.
+PROTOCOLS = {
+    "quorum": _quorum,
+    "waitforall": _waitforall,
+    "floodset": _floodset,
+    "eig": _eig,
+}

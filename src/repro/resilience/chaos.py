@@ -83,6 +83,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.exitcodes import EXIT_CHAOS_KILLED
+
 __all__ = [
     "ChaosInjected",
     "ChaosResult",
@@ -105,8 +107,9 @@ MODE_STALL = "stall"
 _MODES = (MODE_KILL, MODE_EXIT, MODE_RAISE, MODE_STALL)
 
 #: The exit status ``os._exit`` uses for mode ``exit`` (mirrors the
-#: 128+SIGKILL convention so harnesses treat both deaths alike).
-EXIT_STATUS = 137
+#: 128+SIGKILL convention so harnesses treat both deaths alike; the
+#: value is shared with the CLI via :mod:`repro.exitcodes`).
+EXIT_STATUS = EXIT_CHAOS_KILLED
 
 
 class ChaosInjected(RuntimeError):
@@ -330,11 +333,22 @@ def _run_cli(
         os.path.abspath(__file__)))))
     existing = env.get("PYTHONPATH")
     env["PYTHONPATH"] = src if not existing else f"{src}{os.pathsep}{existing}"
-    return subprocess.run(
+    proc = subprocess.Popen(
         [python, "-m", "repro", *argv],
-        capture_output=True,
-        timeout=timeout,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
         env=env,
+    )
+    try:
+        stdout, stderr = proc.communicate(timeout=timeout)
+    except BaseException:
+        # Timeout, Ctrl-C in the sweep, anything: the child must not
+        # outlive this call as an orphan chewing CPU in the background.
+        proc.kill()
+        proc.wait()
+        raise
+    return subprocess.CompletedProcess(
+        proc.args, proc.returncode, stdout, stderr
     )
 
 

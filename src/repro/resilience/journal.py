@@ -49,19 +49,17 @@ from __future__ import annotations
 import io
 import os
 import pickle
-import struct
 import tempfile
-import zlib
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.resilience import chaos
 from repro.resilience.chaos import crashpoint
 from repro.resilience.checkpoint import (
     CampaignCheckpoint,
     CheckpointCorrupt,
     _fsync_directory,
 )
+from repro.resilience.frames import append_frame, encode_frame, scan_frames
 
 __all__ = [
     "CampaignJournal",
@@ -72,12 +70,6 @@ __all__ = [
 ]
 
 MAGIC = b"RJRNL001\n"
-_FRAME_MAGIC = b"RC"
-_FRAME_HEADER = struct.Struct(">2sII")  # magic, payload length, crc32
-
-#: Sanity bound on one frame's payload, to reject garbage length fields
-#: without attempting a multi-gigabyte read.
-_MAX_PAYLOAD = 1 << 31
 
 KIND_BASE = "base"
 KIND_UNIT = "unit"
@@ -107,36 +99,24 @@ def is_journal(path) -> bool:
 
 
 def _encode_frame(kind: str, data) -> bytes:
-    payload = pickle.dumps((kind, data), protocol=pickle.HIGHEST_PROTOCOL)
-    return (
-        _FRAME_HEADER.pack(_FRAME_MAGIC, len(payload), zlib.crc32(payload))
-        + payload
+    """One complete journal frame for a ``(kind, data)`` record."""
+    return encode_frame(
+        pickle.dumps((kind, data), protocol=pickle.HIGHEST_PROTOCOL)
     )
 
 
 def _scan(raw: bytes, path: str):
-    """Parse frames out of the byte body after the magic.
+    """Decode journal records out of the byte body after the magic.
 
-    Returns ``(records, good_end)`` where *good_end* is the offset (into
-    *raw*) just past the last intact frame — anything beyond it is a
-    torn tail.  A bad frame is always treated as the tail: frames are
-    written strictly append-only, so bytes after the first corruption
-    are unreachable by any consistent reader.
+    The byte-level framing (and the torn-tail rule: a bad frame is
+    always the tail, because frames are strictly append-only) lives in
+    :func:`repro.resilience.frames.scan_frames`; this layer decodes each
+    intact payload as a pickled ``(kind, data)`` record.  Returns
+    ``(records, good_end)``.
     """
+    payloads, good_end = scan_frames(raw)
     records = []
-    offset = 0
-    while True:
-        header = raw[offset : offset + _FRAME_HEADER.size]
-        if len(header) < _FRAME_HEADER.size:
-            break
-        magic, length, crc = _FRAME_HEADER.unpack(header)
-        if magic != _FRAME_MAGIC or length > _MAX_PAYLOAD:
-            break
-        payload = raw[
-            offset + _FRAME_HEADER.size : offset + _FRAME_HEADER.size + length
-        ]
-        if len(payload) < length or zlib.crc32(payload) != crc:
-            break
+    for payload in payloads:
         try:
             record = pickle.loads(payload)
         except (
@@ -169,8 +149,7 @@ def _scan(raw: bytes, path: str):
                 "restart the run from scratch"
             )
         records.append(record)
-        offset += _FRAME_HEADER.size + length
-    return records, offset
+    return records, good_end
 
 
 def _replay(records) -> CampaignCheckpoint:
@@ -328,27 +307,19 @@ class CampaignJournal(CampaignCheckpoint):
         fh = self._fh
         if fh is None or fh.closed:
             self._fh = fh = open(self.path, "ab")
-        crashpoint("journal.append.pre")
-        frame = _encode_frame(kind, data)
-        fh.write(frame[: _FRAME_HEADER.size])
-        if chaos.is_armed():
-            # Push the bare frame header to disk so a kill at the mid
-            # crashpoint leaves a genuinely torn record for the loader
-            # to heal; without chaos the frame is buffered whole and
-            # this extra flush would only cost syscalls.
-            fh.flush()
-        crashpoint("journal.append.mid")
-        fh.write(frame[_FRAME_HEADER.size :])
-        fh.flush()
-        if durable:
-            self._unsynced_units = 0
-            os.fsync(fh.fileno())
-        elif kind == KIND_UNIT:
+        sync_now = durable
+        if not sync_now and kind == KIND_UNIT:
             self._unsynced_units += 1
             if self._unsynced_units >= self.checkpoint_interval:
-                self._unsynced_units = 0
-                os.fsync(fh.fileno())
-        crashpoint("journal.append.post")
+                sync_now = True
+        payload = pickle.dumps(
+            (kind, data), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        append_frame(
+            fh, payload, crash_prefix="journal.append", durable=sync_now
+        )
+        if sync_now:
+            self._unsynced_units = 0
         if kind != KIND_BASE:
             self._records_since_base += 1
             if self._records_since_base >= self.compact_every:

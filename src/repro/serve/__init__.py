@@ -1,0 +1,44 @@
+"""The verification job server (``repro serve``).
+
+Composes the resilience layer's primitives — budgets, deadlines, the
+fault-isolated pool, the CRC-framed journal — into a long-running
+process: bounded admission with explicit shedding, per-tenant quotas,
+fingerprint dedupe, a durable content-addressed verdict store, a
+circuit breaker over worker quarantine, and SIGTERM graceful drain.
+See :mod:`repro.serve.server` for the architecture overview.
+"""
+
+from repro.serve.admission import (
+    Admission,
+    AdmissionController,
+    REJECT_DRAINING,
+    REJECT_INVALID,
+    REJECT_QUEUE_FULL,
+    REJECT_QUOTA,
+)
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.client import ServeClient, ServerGone, wait_for_endpoint
+from repro.serve.jobs import InvalidJob, JobSpec, run_job
+from repro.serve.server import ServeConfig, VerifyServer, run_serve
+from repro.serve.store import StoreCorrupt, VerdictStore
+
+__all__ = [
+    "Admission",
+    "AdmissionController",
+    "CircuitBreaker",
+    "InvalidJob",
+    "JobSpec",
+    "REJECT_DRAINING",
+    "REJECT_INVALID",
+    "REJECT_QUEUE_FULL",
+    "REJECT_QUOTA",
+    "ServeClient",
+    "ServeConfig",
+    "ServerGone",
+    "StoreCorrupt",
+    "VerdictStore",
+    "VerifyServer",
+    "run_job",
+    "run_serve",
+    "wait_for_endpoint",
+]

@@ -1,0 +1,114 @@
+"""A small synchronous client for the job server's JSON-line protocol.
+
+Used by the CLI's chaos sweep, the benchmarks, and the tests — all of
+which are synchronous callers that want one request/response at a time
+with explicit timeouts.  Each request opens a fresh connection: the
+server is local, connections are cheap, and a per-request socket means
+a server death surfaces as a clean :class:`ServerGone` on exactly the
+request in flight, never as a wedged shared connection.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from typing import Optional
+
+__all__ = ["ServeClient", "ServerGone", "read_endpoint", "wait_for_endpoint"]
+
+
+class ServerGone(ConnectionError):
+    """The server did not answer: refused, reset, or timed out."""
+
+
+def read_endpoint(dirpath) -> Optional[tuple[str, int]]:
+    """The ``host:port`` the server in *dirpath* advertises, if any."""
+    path = os.path.join(os.fspath(dirpath), "endpoint")
+    try:
+        with open(path, encoding="ascii") as fh:
+            text = fh.read().strip()
+    except OSError:
+        return None
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        return None
+    return host, int(port)
+
+
+def wait_for_endpoint(
+    dirpath, timeout: float = 10.0, poll: float = 0.02
+) -> tuple[str, int]:
+    """Wait for a starting server to advertise (and answer on) its port.
+
+    The endpoint file may be left over from a previous incarnation, so
+    a successful ``ping`` — not the file's existence — is the readiness
+    signal.  Raises :class:`ServerGone` on timeout.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        endpoint = read_endpoint(dirpath)
+        if endpoint is not None:
+            client = ServeClient(*endpoint, timeout=poll * 10)
+            try:
+                client.ping()
+                return endpoint
+            except ServerGone:
+                pass
+        time.sleep(poll)
+    raise ServerGone(f"no server answered in {dirpath} within {timeout}s")
+
+
+class ServeClient:
+    """One server address plus a default per-request timeout."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def request(self, obj: dict, timeout: Optional[float] = None) -> dict:
+        """One request, one response; :class:`ServerGone` on any failure."""
+        budget = self.timeout if timeout is None else timeout
+        try:
+            with socket.create_connection(
+                (self.host, self.port), timeout=budget
+            ) as sock:
+                sock.sendall(
+                    json.dumps(obj).encode("utf-8") + b"\n"
+                )
+                with sock.makefile("rb") as fh:
+                    line = fh.readline()
+        except OSError as exc:
+            raise ServerGone(f"{self.host}:{self.port}: {exc}") from None
+        if not line:
+            raise ServerGone(
+                f"{self.host}:{self.port}: connection closed mid-request"
+            )
+        return json.loads(line)
+
+    # -- convenience ops ---------------------------------------------------
+    def ping(self) -> dict:
+        return self.request({"op": "ping"}, timeout=min(self.timeout, 5.0))
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["stats"]
+
+    def submit(
+        self,
+        job: dict,
+        tenant: str = "default",
+        wait: bool = False,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        return self.request(
+            {"op": "submit", "job": job, "tenant": tenant, "wait": wait},
+            timeout=timeout,
+        )
+
+    def result(self, job_id: str) -> dict:
+        return self.request({"op": "result", "id": job_id})
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})

@@ -4,13 +4,68 @@ The toy system lets the core analyzers (valence, checker, bivalence) be
 tested against hand-computed answers, independently of any real model;
 the real fixtures bind the shipped protocols at n=3, the smallest size at
 which all of the paper's phenomena appear (Section 6 assumes n >= 3).
+
+This conftest also provides ``--global-timeout`` (or the
+``REPRO_TEST_TIMEOUT`` env var): a SIGALRM-based per-test wall-clock
+limit.  The serve integration tests drive real server subprocesses over
+sockets; a wedged server must fail its test loudly instead of hanging
+the whole CI job.  (pytest-timeout is not a dependency of this repo —
+this is the standard-library equivalent for POSIX main-thread runs.)
 """
 
 from __future__ import annotations
 
+import signal
+
 import pytest
 
 from repro.core.state import GlobalState
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--global-timeout",
+        type=float,
+        default=None,
+        help=(
+            "per-test wall-clock limit in seconds, enforced with "
+            "SIGALRM (overrides REPRO_TEST_TIMEOUT; 0 disables)"
+        ),
+    )
+
+
+def _timeout_seconds(config) -> float:
+    import os
+
+    opt = config.getoption("--global-timeout")
+    if opt is not None:
+        return opt
+    raw = os.environ.get("REPRO_TEST_TIMEOUT", "")
+    try:
+        return float(raw) if raw else 0.0
+    except ValueError:
+        return 0.0
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    limit = _timeout_seconds(item.config)
+    if limit <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the --global-timeout of {limit:g}s"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 class ToySystem:

@@ -52,16 +52,23 @@ CASES = {
 @pytest.mark.slow
 @pytest.mark.parametrize("script", sorted(CASES))
 def test_example_runs(script):
-    result = subprocess.run(
+    proc = subprocess.Popen(
         [sys.executable, str(EXAMPLES / script)],
-        capture_output=True,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
         text=True,
-        timeout=900,
         env={**os.environ, "REPRO_MAX_STATES": SMOKE_MAX_STATES},
     )
-    assert result.returncode == 0, result.stderr[-2000:]
+    try:
+        stdout, stderr = proc.communicate(timeout=900)
+    except BaseException:
+        # Ctrl-C or a timeout must not leave an orphan example running.
+        proc.kill()
+        proc.wait()
+        raise
+    assert proc.returncode == 0, stderr[-2000:]
     for needle in CASES[script]:
-        assert needle in result.stdout, (script, needle)
+        assert needle in stdout, (script, needle)
 
 
 def test_examples_directory_is_covered():

@@ -45,11 +45,21 @@ def _env(extra=None):
 
 
 def _run(argv, timeout=300):
-    return subprocess.run(
+    proc = subprocess.Popen(
         [sys.executable, "-m", "repro", *argv],
-        capture_output=True,
-        timeout=timeout,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
         env=_env(),
+    )
+    try:
+        stdout, stderr = proc.communicate(timeout=timeout)
+    except BaseException:
+        # Ctrl-C or a timeout mid-test must not leave an orphan campaign.
+        proc.kill()
+        proc.wait()
+        raise
+    return subprocess.CompletedProcess(
+        proc.args, proc.returncode, stdout, stderr
     )
 
 

@@ -278,6 +278,121 @@ class TestRP301SwallowedBudget:
         assert findings == []
 
 
+class TestRP302SwallowedInterrupt:
+    """RP302 is scoped to protocol/resilience/serve paths and demands a
+    *bare* ``raise`` from BaseException-catching handlers."""
+
+    SCOPED = "src/repro/serve/server.py"
+
+    def _rp302(self, snippet: str, path: str = SCOPED):
+        return _lint(snippet, path=path,
+                     codes=resolve_codes(select=["RP302"]))
+
+    def test_bare_except_swallowing(self):
+        findings = self._rp302(
+            """\
+            def drain(server):
+                try:
+                    server.sync()
+                except:
+                    pass
+            """
+        )
+        assert _codes(findings) == {"RP302"}
+        assert findings[0].line == 4
+        assert "KeyboardInterrupt" in findings[0].message
+
+    def test_base_exception_without_bare_raise(self):
+        findings = self._rp302(
+            """\
+            def drain(server):
+                try:
+                    server.sync()
+                except BaseException as exc:
+                    log(exc)
+            """
+        )
+        assert _codes(findings) == {"RP302"}
+
+    def test_converting_raise_still_flagged(self):
+        """``raise Other from exc`` satisfies RP301 but still turns a
+        KeyboardInterrupt into an ordinary exception — RP302 catches it."""
+        findings = self._rp302(
+            """\
+            def drain(server):
+                try:
+                    server.sync()
+                except BaseException as exc:
+                    raise RuntimeError("wrapped") from exc
+            """
+        )
+        assert _codes(findings) == {"RP302"}
+
+    def test_bare_reraise_is_fine(self):
+        findings = self._rp302(
+            """\
+            def drain(server):
+                try:
+                    server.sync()
+                except BaseException:
+                    cleanup()
+                    raise
+            """
+        )
+        assert findings == []
+
+    def test_explicit_interrupt_sibling_exempts(self):
+        """The pool's worker idiom: KeyboardInterrupt handled on purpose
+        first, then a broad handler reporting everything else."""
+        findings = self._rp302(
+            """\
+            def worker(fn):
+                try:
+                    fn()
+                except KeyboardInterrupt:
+                    return
+                except BaseException as exc:
+                    report(exc)
+            """
+        )
+        assert findings == []
+
+    def test_except_exception_is_not_rp302(self):
+        """``except Exception`` cannot catch an interrupt; that hazard
+        belongs to RP301, not this rule."""
+        findings = self._rp302(
+            """\
+            def drain(server):
+                try:
+                    server.sync()
+                except Exception:
+                    pass
+            """
+        )
+        assert findings == []
+
+    def test_out_of_scope_paths_are_ignored(self):
+        findings = self._rp302(
+            """\
+            def bench():
+                try:
+                    run()
+                except:
+                    pass
+            """,
+            path="benchmarks/bench_e17.py",
+        )
+        assert findings == []
+
+    def test_shipped_tree_is_clean(self):
+        """The whole src tree sweeps clean under RP302 — the satellite's
+        acceptance bar, pinned so a regression fails loudly."""
+        import pathlib
+
+        src = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+        assert lint_paths([str(src)], select=["RP302"]) == []
+
+
 class TestRP999SyntaxError:
     def test_unparseable_source_is_a_finding(self):
         findings = _lint("def broken(:\n")

@@ -1,0 +1,78 @@
+"""Admission control: shed conditions, quotas, counters."""
+
+import pytest
+
+from repro.resilience.budget import Budget
+from repro.serve.admission import (
+    AdmissionController,
+    REJECT_DRAINING,
+    REJECT_QUEUE_FULL,
+    REJECT_QUOTA,
+)
+
+
+class TestDecide:
+    def test_accepts_under_the_bound(self):
+        ctl = AdmissionController(queue_limit=2)
+        assert ctl.decide("t", depth=0).accepted
+        assert ctl.decide("t", depth=1).accepted
+        assert ctl.accepted == 2
+
+    def test_sheds_at_the_bound(self):
+        ctl = AdmissionController(queue_limit=2)
+        decision = ctl.decide("t", depth=2)
+        assert not decision.accepted
+        assert decision.reason == REJECT_QUEUE_FULL
+
+    def test_draining_sheds_everything(self):
+        ctl = AdmissionController(queue_limit=100)
+        ctl.draining = True
+        decision = ctl.decide("t", depth=0)
+        assert not decision.accepted
+        assert decision.reason == REJECT_DRAINING
+
+    def test_queue_limit_validated(self):
+        with pytest.raises(ValueError):
+            AdmissionController(queue_limit=0)
+
+
+class TestQuotas:
+    def test_tenant_shed_after_quota_trips(self):
+        ctl = AdmissionController(
+            queue_limit=100, tenant_budget=Budget(max_states=10)
+        )
+        assert ctl.decide("alice", depth=0).accepted
+        ctl.charge("alice", 11)
+        decision = ctl.decide("alice", depth=0)
+        assert not decision.accepted
+        assert decision.reason == REJECT_QUOTA
+        assert "alice" in decision.detail
+
+    def test_quotas_are_per_tenant(self):
+        ctl = AdmissionController(
+            queue_limit=100, tenant_budget=Budget(max_states=10)
+        )
+        ctl.charge("alice", 11)
+        assert not ctl.decide("alice", depth=0).accepted
+        assert ctl.decide("bob", depth=0).accepted
+
+    def test_no_budget_means_no_quota(self):
+        ctl = AdmissionController(queue_limit=100)
+        ctl.charge("alice", 10**9)
+        assert ctl.decide("alice", depth=0).accepted
+
+
+class TestStats:
+    def test_counters_and_tenants(self):
+        ctl = AdmissionController(
+            queue_limit=1, tenant_budget=Budget(max_states=5)
+        )
+        ctl.decide("t", depth=0)
+        ctl.decide("t", depth=1)
+        ctl.reject_invalid("nope")
+        ctl.charge("t", 3)
+        stats = ctl.stats()
+        assert stats["accepted"] == 1
+        assert stats["rejected"] == {"invalid-job": 1, "queue-full": 1}
+        assert stats["tenants"]["t"]["states"] == 3
+        assert stats["tenants"]["t"]["exhausted"] is None

@@ -1,0 +1,71 @@
+"""The circuit breaker automaton, driven with injected time (no sleeps)."""
+
+import pytest
+
+from repro.serve.breaker import CLOSED, CircuitBreaker, HALF_OPEN, OPEN
+
+
+class TestAutomaton:
+    def test_closed_allows(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=30.0)
+        assert breaker.state == CLOSED
+        assert breaker.allow(now=0.0)
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=30.0)
+        breaker.record_failure(now=0.0)
+        breaker.record_failure(now=0.0)
+        assert breaker.state == CLOSED
+        breaker.record_failure(now=0.0)
+        assert breaker.state == OPEN
+        assert not breaker.allow(now=1.0)
+        assert breaker.shed_total == 1
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=30.0)
+        breaker.record_failure(now=0.0)
+        breaker.record_success()
+        breaker.record_failure(now=0.0)
+        assert breaker.state == CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0)
+        breaker.record_failure(now=0.0)
+        assert breaker.state == OPEN
+        assert not breaker.allow(now=5.0)
+        assert breaker.allow(now=11.0)  # cooldown passed: the probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow(now=11.0)  # second job sheds
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0)
+        breaker.record_failure(now=0.0)
+        assert breaker.allow(now=11.0)
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow(now=11.0)
+
+    def test_probe_failure_reopens_for_a_fresh_cooldown(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0)
+        breaker.record_failure(now=0.0)
+        assert breaker.allow(now=11.0)
+        breaker.record_failure(now=11.0)
+        assert breaker.state == OPEN
+        assert not breaker.allow(now=20.0)  # 11 + 10 not yet passed
+        assert breaker.allow(now=21.5)
+        assert breaker.opened_total == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=-1.0)
+
+    def test_describe(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0)
+        breaker.record_failure(now=0.0)
+        breaker.allow(now=1.0)
+        info = breaker.describe()
+        assert info["state"] == OPEN
+        assert info["opened_total"] == 1
+        assert info["shed_total"] == 1

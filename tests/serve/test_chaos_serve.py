@@ -1,0 +1,54 @@
+"""The serve chaos harness: kill the server at durability seams.
+
+The full sweep (every reachable crashpoint x 2 hits) is what ``repro
+chaos --serve`` runs; here a restricted sweep over the three highest
+value seams keeps the chaos-marked suite fast while still covering the
+acceptance property end to end: after a kill -9 inside acceptance,
+completion, or recovery itself, a restarted server loses no accepted
+job, runs none twice, and stores byte-identical verdicts.
+"""
+
+import pytest
+
+from repro.serve.chaos import default_battery, serve_chaos_sweep
+
+pytestmark = pytest.mark.chaos
+
+#: One point per durability seam class: post-acceptance (job durable,
+#: not yet queued visibly), the store->ledger completion gap, and the
+#: recovery repair path itself (exercised via a staged first kill).
+POINTS = ["serve.accept.post", "serve.complete.gap", "serve.recover.done"]
+
+
+def test_restricted_sweep_recovers_everywhere(tmp_path):
+    sweep = serve_chaos_sweep(
+        battery=default_battery(jobs=3),
+        workdir=str(tmp_path),
+        max_hits_per_point=1,
+        points=POINTS,
+        timeout=120.0,
+    )
+    assert sweep.results, "no armed cycles ran"
+    covered = {result.point for result in sweep.results}
+    assert covered == set(POINTS), covered
+    failures = [r for r in sweep.results if not r.ok]
+    assert not failures, "\n".join(
+        f"{r.point}:{r.hit}:{r.mode}: {r.detail}" for r in failures
+    )
+    assert sweep.ok, sweep.describe()
+
+
+def test_default_battery_shape():
+    battery = default_battery(jobs=4)
+    assert len(battery) == 4
+    assert battery[0]["kind"] == "refute"
+    assert all(job["kind"] == "probe" for job in battery[1:])
+
+
+def test_rejects_non_death_modes(tmp_path):
+    with pytest.raises(ValueError, match="kill/exit"):
+        serve_chaos_sweep(
+            battery=default_battery(jobs=1),
+            workdir=str(tmp_path),
+            modes=("stall",),
+        )

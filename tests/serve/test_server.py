@@ -1,0 +1,214 @@
+"""Live-server integration: a real ``repro serve`` subprocess driven
+over its TCP protocol.
+
+Covers the headline robustness properties end to end: dedupe against
+the durable store, structured shedding under overload (never a crash),
+tenant quotas, and SIGTERM graceful drain with ledger-driven resume in
+a fresh process.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.resilience.chaos import ENV_SCOPE, ENV_SPECS, ENV_TRACE
+from repro.serve.client import ServeClient, wait_for_endpoint
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: ~0.1-0.5s of sha256 chaining: long enough to still be in flight when
+#: a signal lands right after submission, far below any test timeout.
+SLOW_WORK = 400_000
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    for var in (ENV_SPECS, ENV_TRACE, ENV_SCOPE):
+        env.pop(var, None)
+    return env
+
+
+def _start(tmp_path, *extra):
+    argv = [
+        sys.executable, "-m", "repro", "serve",
+        "--dir", str(tmp_path),
+        "--port", "0",
+        "--concurrency", "1",
+        "--no-isolation",
+        *extra,
+    ]
+    return subprocess.Popen(
+        argv, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, env=_env()
+    )
+
+
+def _stop(proc, timeout=60):
+    try:
+        if proc.poll() is None:
+            proc.terminate()
+            proc.wait(timeout=timeout)
+    except BaseException:
+        proc.kill()
+        proc.wait()
+        raise
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        if proc.stderr is not None:
+            proc.stderr.close()
+
+
+def _client(tmp_path, proc, timeout=30.0):
+    try:
+        host, port = wait_for_endpoint(tmp_path, timeout=30.0)
+    except BaseException:
+        _stop(proc)
+        raise
+    return ServeClient(host, port, timeout=timeout)
+
+
+def _probe(work, tag):
+    return {"kind": "probe", "work": work, "value": tag}
+
+
+@pytest.mark.slow
+class TestServerRoundtrip:
+    def test_submit_dedupe_and_stats(self, tmp_path):
+        proc = _start(tmp_path)
+        try:
+            client = _client(tmp_path, proc)
+            first = client.submit(_probe(50, "roundtrip"), wait=True)
+            assert first["status"] == "done", first
+            digest = first["result"]["digest"]
+
+            again = client.submit(_probe(50, "roundtrip"), wait=True)
+            assert again["status"] == "done"
+            assert again.get("cached") is True
+            assert again["result"]["digest"] == digest
+
+            by_id = client.result(first["id"])
+            assert by_id["status"] == "done"
+            assert by_id["result"]["digest"] == digest
+
+            stats = client.stats()
+            assert stats["counters"]["stored"] == 1
+            assert stats["counters"]["store_hits"] >= 1
+            assert stats["store_records"] == 1
+        finally:
+            _stop(proc)
+
+    def test_invalid_job_is_structured_rejection(self, tmp_path):
+        proc = _start(tmp_path)
+        try:
+            client = _client(tmp_path, proc)
+            response = client.submit({"kind": "probe", "work": -3})
+            assert response["status"] == "rejected"
+            assert response["reason"] == "invalid-job"
+            assert client.ping()["status"] == "ok"
+        finally:
+            _stop(proc)
+
+    def test_unknown_fingerprint(self, tmp_path):
+        proc = _start(tmp_path)
+        try:
+            client = _client(tmp_path, proc)
+            assert client.result("not-a-fp")["status"] == "unknown"
+        finally:
+            _stop(proc)
+
+
+@pytest.mark.slow
+class TestOverload:
+    def test_overload_sheds_never_crashes(self, tmp_path):
+        """10x the admission bound: every response is structured
+        (accepted or REJECTED/queue-full) and the server stays alive."""
+        bound = 2
+        proc = _start(tmp_path, "--queue-limit", str(bound))
+        try:
+            client = _client(tmp_path, proc)
+            responses = [
+                client.submit(_probe(SLOW_WORK, f"overload-{i}"))
+                for i in range(10 * bound)
+            ]
+            statuses = {r["status"] for r in responses}
+            assert statuses <= {"accepted", "rejected"}, statuses
+            rejected = [r for r in responses if r["status"] == "rejected"]
+            assert rejected, "10x overload produced no shedding"
+            assert {r["reason"] for r in rejected} == {"queue-full"}
+            # Shedding is load-dependent, the bound is not: accepted
+            # jobs never exceed the configured queue limit.
+            accepted = [r for r in responses if r["status"] == "accepted"]
+            assert len(accepted) <= bound
+            assert client.ping()["status"] == "ok"
+            assert client.stats()["counters"]["errors"] == 0
+        finally:
+            _stop(proc)
+
+    def test_tenant_quota_exhaustion(self, tmp_path):
+        proc = _start(tmp_path, "--tenant-max-states", "100")
+        try:
+            client = _client(tmp_path, proc)
+            done = client.submit(_probe(200, "quota"), tenant="greedy",
+                                 wait=True)
+            assert done["status"] == "done"
+            shed = client.submit(_probe(201, "quota"), tenant="greedy")
+            assert shed["status"] == "rejected"
+            assert shed["reason"] == "quota-exhausted"
+            other = client.submit(_probe(202, "quota"), tenant="frugal",
+                                  wait=True)
+            assert other["status"] == "done"
+        finally:
+            _stop(proc)
+
+
+@pytest.mark.slow
+class TestGracefulDrainAndResume:
+    def test_sigterm_drains_then_restart_resumes(self, tmp_path):
+        jobs = [_probe(SLOW_WORK, f"drain-{i}") for i in range(4)]
+        proc = _start(tmp_path, "--queue-limit", "8",
+                      "--drain-grace", "0.05")
+        fingerprints = []
+        try:
+            client = _client(tmp_path, proc)
+            for job in jobs:
+                response = client.submit(job)
+                assert response["status"] == "accepted", response
+                fingerprints.append(response["id"])
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=60)
+            assert proc.returncode == 130
+        finally:
+            _stop(proc)
+
+        # A fresh process over the same directory must recover every
+        # accepted-but-unfinished job from the ledger and finish it.
+        proc = _start(tmp_path, "--queue-limit", "8")
+        try:
+            client = _client(tmp_path, proc)
+            assert client.stats()["counters"]["recovered"] >= 1
+            deadline = time.monotonic() + 60
+            pending = set(fingerprints)
+            while pending and time.monotonic() < deadline:
+                for fp in sorted(pending):
+                    response = client.result(fp)
+                    if response["status"] == "done":
+                        pending.discard(fp)
+                time.sleep(0.05)
+            assert not pending, f"jobs never completed: {sorted(pending)}"
+            # Resubmitting any of them is now a pure store hit.
+            cached = client.submit(jobs[0], wait=True)
+            assert cached["status"] == "done"
+            assert cached.get("cached") is True
+            stats = client.stats()
+            assert stats["store_records"] == len(jobs)
+        finally:
+            _stop(proc)

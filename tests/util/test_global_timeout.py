@@ -1,0 +1,83 @@
+"""The conftest-provided ``--global-timeout`` SIGALRM watchdog.
+
+Exercised end to end in a pytest subprocess: a test that sleeps past
+the limit must *fail* (with the watchdog's TimeoutError, not a hang),
+and a fast test under the same limit must pass untouched.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+
+SLEEPER = """\
+import time
+
+def test_sleeps_forever():
+    time.sleep(30)
+
+def test_fast():
+    assert True
+"""
+
+
+def _run_pytest(args, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "pytest", "-p", "no:cacheprovider",
+         "-o", "addopts=", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        cwd=cwd,
+        env=env,
+    )
+    try:
+        stdout, _ = proc.communicate(timeout=120)
+    except BaseException:
+        proc.kill()
+        proc.wait()
+        raise
+    return proc.returncode, stdout.decode(errors="replace")
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    not hasattr(signal, "SIGALRM"),
+    reason="SIGALRM watchdog is POSIX-only",
+)
+def test_global_timeout_fails_hung_tests(tmp_path):
+    # The file must live under tests/ so tests/conftest.py (which owns
+    # the option) is on the collection path.
+    target_dir = ROOT / "tests" / "util"
+    target = target_dir / "_tmp_sleeper_do_not_commit.py"
+    target.write_text(SLEEPER)
+    try:
+        code, out = _run_pytest(
+            [str(target), "--global-timeout", "1"], cwd=str(ROOT)
+        )
+        assert code != 0
+        assert "exceeded the --global-timeout" in out
+        assert "1 failed, 1 passed" in out
+    finally:
+        target.unlink()
+
+
+def test_no_timeout_means_no_watchdog(request):
+    """Without the option (and without REPRO_TEST_TIMEOUT) the hook is
+    inert: no itimer is armed around this test."""
+    if not hasattr(signal, "SIGALRM"):
+        pytest.skip("SIGALRM watchdog is POSIX-only")
+    if request.config.getoption("--global-timeout") or os.environ.get(
+        "REPRO_TEST_TIMEOUT"
+    ):
+        pytest.skip("a global timeout is configured for this run")
+    remaining = signal.getitimer(signal.ITIMER_REAL)[0]
+    assert remaining == 0.0
