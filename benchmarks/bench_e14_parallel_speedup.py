@@ -7,24 +7,34 @@ shipped sweep — EIG at ``t+1 = 3`` rounds in the ``S^t`` system with
 and records wall clock, verified states/second and speedup vs the
 sequential engine.
 
+Cold-start is measured separately from steady-state: the pool reports
+its ``spawn_seconds`` (process fan-out, context unpickling, preflight
+warmup) through a ``report_sink`` hook, and the table shows both the
+total ("cold s") and the total minus cold-start ("steady s").  The
+speedup column is computed on **steady-state** time — the engine's
+scaling — so process spawn cost is never silently booked against the
+exploration itself (it is still visible, in its own column).
+
 Two properties are asserted; one is only *recorded*:
 
 * **determinism** (asserted) — every worker count yields the identical
   verdict and state count; the merge is a pure function of the input.
-* **bounded overhead** (asserted) — process fan-out must not cost more
+* **bounded overhead** (asserted) — the parallel run must not cost more
   than ``OVERHEAD_FACTOR``× the sequential wall clock even with no cores
-  to gain from (the per-unit dispatch cost stays small relative to the
-  unit's work).
+  to gain from (the per-shard dispatch cost stays small relative to the
+  shard's work: payloads are index spans, the system ships once per
+  worker).
 * **speedup** (recorded) — actual wall-clock gain is a function of the
   machine: on a single-core container (like the CI box this table was
   first generated on) the workers timeslice one CPU and the speedup
-  column sits at ~1x by construction; with real cores the sweep scales
-  with the slowest shard.  The table records ``cores`` so the context is
-  in the artifact.
+  column cannot exceed ~1x by construction; with real cores the sweep
+  scales with the slowest shard.  The table records ``cores`` so the
+  context is in the artifact.
 """
 
 import os
 import time
+from dataclasses import replace
 
 import pytest
 
@@ -33,6 +43,7 @@ from repro.analysis.reports import render_table
 from repro.analysis.sync_lower_bound import make_st_system
 from repro.core.checker import ConsensusChecker
 from repro.protocols.eig import EIG
+from repro.resilience.pool import PoolConfig
 
 #: Parallel dispatch may cost at most this factor vs sequential wall
 #: clock (generous: it must hold even on a single-core machine where
@@ -47,9 +58,14 @@ def make_sweep_system():
     return make_st_system(EIG(3), 4, 2)
 
 
-def run_sweep(workers: int):
+def run_sweep(workers: int, sink=None):
     system = make_sweep_system()
-    return ConsensusChecker(system).check_all(system.model, workers=workers)
+    pool = None
+    if sink is not None:
+        pool = replace(PoolConfig(workers=workers), report_sink=sink)
+    return ConsensusChecker(system).check_all(
+        system.model, workers=workers, pool=pool
+    )
 
 
 @pytest.mark.parametrize("workers", WORKER_COUNTS)
@@ -60,11 +76,14 @@ def test_e14_sweep_scaling(benchmark, workers):
 
 def test_e14_table():
     timings = {}
+    spawn = {}
     reports = {}
     for workers in WORKER_COUNTS:
+        pool_reports = []
         start = time.perf_counter()
-        reports[workers] = run_sweep(workers)
+        reports[workers] = run_sweep(workers, sink=pool_reports.append)
         timings[workers] = time.perf_counter() - start
+        spawn[workers] = sum(r.spawn_seconds for r in pool_reports)
 
     baseline = reports[WORKER_COUNTS[0]]
     assert baseline.satisfied
@@ -74,31 +93,45 @@ def test_e14_table():
             reports[workers].states_explored == baseline.states_explored
         )
 
+    base_steady = timings[WORKER_COUNTS[0]] - spawn[WORKER_COUNTS[0]]
     rows = []
     for workers in WORKER_COUNTS:
-        seconds = timings[workers]
+        cold = timings[workers]
+        steady = max(cold - spawn[workers], 1e-9)
         rows.append(
             [
                 workers,
                 reports[workers].states_explored,
-                f"{seconds:.2f}",
-                f"{reports[workers].states_explored / seconds:,.0f}",
-                f"{timings[WORKER_COUNTS[0]] / seconds:.2f}x",
+                f"{cold:.2f}",
+                f"{spawn[workers]:.2f}",
+                f"{steady:.2f}",
+                f"{reports[workers].states_explored / steady:,.0f}",
+                f"{base_steady / steady:.2f}x",
             ]
         )
     cores = len(os.sched_getaffinity(0))
     save_table(
         "e14_parallel_speedup",
         "E14: parallel check_all scaling (EIG(3), S^t, n=4, t=2; "
-        f"{cores} core(s) available; identical verdicts asserted)",
+        f"{cores} core(s) available; identical verdicts asserted; "
+        "speedup computed on steady-state time, i.e. total minus pool "
+        "spawn)",
         render_table(
-            ["workers", "states", "seconds", "states/sec", "speedup"],
+            [
+                "workers",
+                "states",
+                "cold s",
+                "spawn s",
+                "steady s",
+                "states/sec",
+                "speedup",
+            ],
             rows,
         ),
     )
     slowest = max(timings[w] for w in WORKER_COUNTS[1:])
     assert slowest < timings[WORKER_COUNTS[0]] * OVERHEAD_FACTOR, (
-        f"parallel dispatch cost {slowest:.2f}s vs sequential "
+        f"parallel run cost {slowest:.2f}s vs sequential "
         f"{timings[WORKER_COUNTS[0]]:.2f}s exceeds the "
         f"{OVERHEAD_FACTOR}x overhead bound"
     )

@@ -127,6 +127,7 @@ def refute_candidate(
     on_unit=None,
     cache: CacheSpec = True,
     preflight: bool = True,
+    shard_states: Optional[int] = None,
 ) -> list[Refutation]:
     """Run one candidate through every applicable layered model.
 
@@ -166,7 +167,8 @@ def refute_candidate(
     ]
     crashpoint("driver.impossibility.campaign")
     results = run_campaign(
-        units, campaign=campaign, workers=workers, pool=pool, on_unit=on_unit
+        units, campaign=campaign, workers=workers, pool=pool,
+        on_unit=on_unit, shard_states=shard_states,
     )
     return [
         Refutation(model_name=name, protocol_name=protocol.name(), report=report)

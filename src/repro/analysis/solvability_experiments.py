@@ -87,15 +87,35 @@ class MatrixEntry:
         return True
 
 
-def _matrix_unit(payload: tuple) -> MatrixEntry:
+@dataclass(frozen=True)
+class _MatrixContext:
+    """Shared knobs of one E7 run, shipped once per worker process.
+
+    Payloads are then just task names — the O(shard descriptor) payload
+    discipline of the parallel checker, applied to the matrix driver.
+    """
+
+    n: int
+    max_input_set_size: Optional[int]
+    budget: Budget
+    cache: CacheSpec
+    preflight: bool
+
+
+def _matrix_unit(payload: str, context: _MatrixContext) -> MatrixEntry:
     """Pool unit: one task's full E7 entry (runs in a worker process).
 
-    The payload carries only the task *name* plus scalar knobs — the
-    problem, solver and candidate are rebuilt from the module-level
-    catalogs inside the worker, so nothing unpicklable (the catalog
-    lambdas) ever crosses the process boundary.
+    The payload carries only the task *name*; knobs ride the shared
+    context and the problem, solver and candidate are rebuilt from the
+    module-level catalogs inside the worker, so nothing unpicklable (the
+    catalog lambdas) ever crosses the process boundary.
     """
-    name, n, max_input_set_size, budget, cache, preflight = payload
+    name = payload
+    n = context.n
+    max_input_set_size = context.max_input_set_size
+    budget = context.budget
+    cache = context.cache
+    preflight = context.preflight
     problem = CATALOG[name](n)
     solver_factory = SOLVERS.get(name)
     solver = solver_factory() if solver_factory else None
@@ -144,15 +164,21 @@ def solvability_matrix(
 
     budget = Budget.of(max_states)
     names = list(tasks or sorted(CATALOG))
-    units = [
-        (name, (name, n, max_input_set_size, budget, cache, preflight))
-        for name in names
-    ]
+    context = _MatrixContext(
+        n=n,
+        max_input_set_size=max_input_set_size,
+        budget=budget,
+        cache=cache,
+        preflight=preflight,
+    )
+    units = [(name, name) for name in names]
     if workers is not None and workers > 1 and len(units) > 1:
         config = pool or PoolConfig()
         if config.workers != workers:
             config = dataclasses.replace(config, workers=workers)
-        outcomes = run_units(_matrix_unit, units, config).outcomes
+        outcomes = run_units(
+            _matrix_unit, units, config, context=context
+        ).outcomes
         entries: dict[str, MatrixEntry] = {}
         for name in names:
             outcome = outcomes[name]
@@ -169,7 +195,7 @@ def solvability_matrix(
     entries_serial: dict[str, MatrixEntry] = {}
     for name, payload in units:
         crashpoint("driver.solvability.unit")
-        entries_serial[name] = _matrix_unit(payload)
+        entries_serial[name] = _matrix_unit(payload, context)
     return entries_serial
 
 

@@ -87,6 +87,7 @@ def _campaign_rows(
     workers: Optional[int],
     pool: Optional[PoolConfig],
     on_unit,
+    shard_states: Optional[int] = None,
 ) -> list[LowerBoundRow]:
     """Run ``(label, key, unit, n, t, rounds)`` specs through the shared
     campaign engine and rebuild the table rows, truncated (like the
@@ -98,6 +99,7 @@ def _campaign_rows(
         workers=workers,
         pool=pool,
         on_unit=on_unit,
+        shard_states=shard_states,
     )
     return [
         LowerBoundRow(label, n, t, rounds, report)
@@ -115,6 +117,7 @@ def defeat_fast_candidates(
     on_unit=None,
     cache: CacheSpec = True,
     preflight: bool = True,
+    shard_states: Optional[int] = None,
 ) -> list[LowerBoundRow]:
     """Defeat every shipped candidate deciding within ``t`` rounds.
 
@@ -148,7 +151,9 @@ def defeat_fast_candidates(
                     rounds,
                 )
             )
-    return _campaign_rows(specs, campaign, workers, pool, on_unit)
+    return _campaign_rows(
+        specs, campaign, workers, pool, on_unit, shard_states
+    )
 
 
 def verify_tight_protocols(
@@ -163,6 +168,7 @@ def verify_tight_protocols(
     on_unit=None,
     cache: CacheSpec = True,
     preflight: bool = True,
+    shard_states: Optional[int] = None,
 ) -> list[LowerBoundRow]:
     """Verify FloodSet/EIG at ``t+1`` rounds — the bound is tight.
 
@@ -205,7 +211,9 @@ def verify_tight_protocols(
                     t + 1,
                 )
             )
-    return _campaign_rows(specs, campaign, workers, pool, on_unit)
+    return _campaign_rows(
+        specs, campaign, workers, pool, on_unit, shard_states
+    )
 
 
 def lemma_6_1(

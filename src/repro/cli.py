@@ -215,6 +215,7 @@ def _cmd_lower_bound(args: argparse.Namespace) -> int:
         on_unit=_autosave(args),
         cache=args.cache,
         preflight=args.preflight,
+        shard_states=args.shard_states,
     )
     verified = []
     if not any(r.inconclusive for r in defeated):
@@ -229,6 +230,7 @@ def _cmd_lower_bound(args: argparse.Namespace) -> int:
             on_unit=_autosave(args),
             cache=args.cache,
             preflight=args.preflight,
+            shard_states=args.shard_states,
         )
     rows = defeated + verified
     print(render_verdict_rows(rows))
@@ -265,6 +267,7 @@ def _cmd_impossibility(args: argparse.Namespace) -> int:
         on_unit=_autosave(args),
         cache=args.cache,
         preflight=args.preflight,
+        shard_states=args.shard_states,
     )
     if args.model != "all":
         refutations = [
@@ -739,6 +742,22 @@ def _add_budget_flags(parser, suppress: bool = False) -> None:
         help="retries before a crashing parallel unit is quarantined",
     )
     parser.add_argument(
+        "--shard-states",
+        type=int,
+        default=default(None),
+        metavar="N",
+        help="root states (input assignments) per parallel shard; "
+        "smaller shards steal better, the merged verdict is identical "
+        "for any value (default 1)",
+    )
+    parser.add_argument(
+        "--steal",
+        action=argparse.BooleanOptionalAction,
+        default=default(None),
+        help="pull-based work stealing between pool workers (default "
+        "on; --no-steal pins shard i to worker i mod N)",
+    )
+    parser.add_argument(
         "--cache",
         action=argparse.BooleanOptionalAction,
         default=default(True),
@@ -1036,7 +1055,7 @@ def main(argv: list[str] | None = None) -> int:
         max_states=args.max_states, max_seconds=args.timeout
     )
     args.pool = pool_config_for(
-        args.workers, args.unit_timeout, args.max_retries
+        args.workers, args.unit_timeout, args.max_retries, args.steal
     )
     args.campaign = None
     if args.resume:

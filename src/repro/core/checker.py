@@ -301,6 +301,7 @@ class ConsensusChecker:
         checkpoint: Optional[CheckAllCheckpoint] = None,
         workers: Optional[int] = None,
         pool: Optional[PoolConfig] = None,
+        shard_states: Optional[int] = None,
     ) -> ConsensusReport:
         """Check every input assignment; return the first violation found,
         or an aggregate SATISFIED report.
@@ -310,20 +311,25 @@ class ConsensusChecker:
         deterministic assignment cursor plus the in-flight assignment's
         exploration snapshot; pass it back to resume.
 
-        With ``workers > 1`` the input assignments are sharded across a
-        fault-isolated worker pool (:mod:`repro.resilience.pool`): each
-        assignment's BFS runs in its own process against its own budget
-        meter — exactly the per-assignment metering of the sequential
-        path — and the per-assignment reports are merged **in assignment
-        order**, so the returned report (verdict, witness, statistics,
-        checkpoint) is identical to the sequential run's.  An assignment
-        whose worker crashes repeatedly is *quarantined*: the sweep
-        reports ``UNKNOWN`` at that assignment's cursor with the crash
-        cause in the detail (resumable from that index), instead of the
-        whole sweep dying with the worker.  Wall-clock-limited budgets
-        are the one intentional semantic difference: the deadline is
-        shared, so under time pressure a parallel run covers more
-        assignments before tripping.
+        With ``workers > 1`` the sweep's root frontier (its input
+        assignments) is split into shards of ``shard_states`` assignments
+        each (default 1 — maximal stealing granularity) and run across a
+        fault-isolated worker pool (:mod:`repro.resilience.pool`).  The
+        system and model ship **once per worker** as shared context;
+        shard payloads carry only an index span, so dispatch cost is
+        O(shard descriptor).  Each assignment's BFS runs against its own
+        budget meter — exactly the per-assignment metering of the
+        sequential path — and the per-assignment reports are merged **in
+        assignment order**, so the returned report (verdict, witness,
+        statistics, checkpoint) is identical to the sequential run's,
+        whatever the stealing schedule.  A shard whose worker crashes
+        repeatedly is *quarantined*: the sweep reports ``UNKNOWN`` at
+        that shard's cursor with the crash cause in the detail
+        (resumable from that index), instead of the whole sweep dying
+        with the worker.  Wall-clock-limited budgets are the one
+        intentional semantic difference: the deadline is shared, so
+        under time pressure a parallel run covers more assignments
+        before tripping.
         """
         from itertools import product
 
@@ -346,7 +352,7 @@ class ConsensusChecker:
             # contain.
             return self._check_all_parallel(
                 model, domain, assignments, start, total, inner,
-                workers, pool,
+                workers, pool, shard_states,
             )
         refused = self._preflight_gate(
             (model.initial_state(a) for a in assignments), None
@@ -380,59 +386,92 @@ class ConsensusChecker:
         inner: Optional[ExplorationCheckpoint],
         workers: int,
         pool: Optional[PoolConfig],
+        shard_states: Optional[int],
     ) -> ConsensusReport:
         """The worker-pool arm of :meth:`check_all` (deterministic merge)."""
         import dataclasses
 
-        units = []
-        for index in range(start, len(assignments)):
-            payload = _AssignmentPayload(
-                system=self._system,
-                model=model,
-                budget=self._budget,
-                strict=self._strict,
-                assignment=assignments[index],
-                inner=inner if index == start else None,
-                preflight=self._preflight,
-            )
-            units.append((index, payload))
+        spans = _shard_spans(start, len(assignments), shard_states)
+        units = [
+            (lo, (lo, hi, inner if lo == start else None))
+            for lo, hi in spans
+        ]
+        context = _SweepContext(
+            system=self._system,
+            model=model,
+            budget=self._budget,
+            strict=self._strict,
+            preflight=self._preflight,
+            domain=domain,
+        )
         config = pool or PoolConfig()
         if config.workers != workers:
             config = dataclasses.replace(config, workers=workers)
-        outcomes = run_units(_check_assignment_unit, units, config).outcomes
-        for index in range(start, len(assignments)):
-            assignment = assignments[index]
-            unit = outcomes[index]
+        outcomes = run_units(
+            _check_shard_unit, units, config, context=context
+        ).outcomes
+        return self._merge_shard_spans(
+            model, domain, assignments, total, spans, outcomes.__getitem__
+        )
+
+    def _merge_shard_spans(
+        self,
+        model,
+        domain: tuple,
+        assignments: list,
+        total: int,
+        spans: list,
+        outcome_for,
+    ) -> ConsensusReport:
+        """Fold per-shard report lists into the sweep verdict.
+
+        Spans are walked in assignment order regardless of which worker
+        ran them or in what order they finished — the merge is a pure
+        function of the per-assignment reports, so the result is
+        byte-identical to the sequential sweep under any stealing
+        schedule.  ``outcome_for(lo)`` returns the pool
+        :class:`~repro.resilience.pool.UnitOutcome` of the span starting
+        at ``lo``.
+        """
+        for lo, hi in spans:
+            unit = outcome_for(lo)
             if unit.quarantined:
                 sweep = CheckAllCheckpoint(
                     fingerprint=system_fingerprint(self._system),
                     n=model.n,
                     value_domain=domain,
-                    assignment_index=index,
+                    assignment_index=lo,
                     states_total=total,
                     inner=None,
                 )
+                where = (
+                    f"assignment {lo + 1} of {len(assignments)} "
+                    f"({assignments[lo]!r})"
+                    if hi - lo == 1
+                    else f"assignments {lo + 1}-{hi} of {len(assignments)}"
+                )
                 return ConsensusReport(
                     verdict=Verdict.UNKNOWN,
-                    inputs=assignment,
+                    inputs=assignments[lo],
                     execution=None,
                     cycle=None,
                     detail=(
-                        f"assignment {index + 1} of {len(assignments)} "
-                        f"({assignment!r}) quarantined: {unit.cause()} "
+                        f"{where} quarantined: {unit.cause()} "
                         "(resume from the checkpoint to re-run it)"
                     ),
                     states_explored=total,
                     budget_stats=None,
                     checkpoint=sweep,
                 )
-            report = unit.value
-            outcome = self._merge_assignment(
-                report, index, assignment, assignments, domain, model, total
-            )
-            if outcome is not None:
-                return outcome
-            total += report.states_explored
+            for offset, report in enumerate(unit.value):
+                index = lo + offset
+                outcome = self._merge_assignment(
+                    report, index, assignments[index], assignments, domain,
+                    model, total,
+                )
+                if outcome is not None:
+                    return outcome
+                total += report.states_explored
         return self._satisfied_sweep(domain, model, total)
 
     def _merge_assignment(
@@ -819,21 +858,90 @@ class ConsensusChecker:
 # one assignment of one sweep (check_all's internal sharding) and one
 # whole check_all over one layered system (the campaign drivers' unit).
 
-@dataclass(frozen=True)
-class _AssignmentPayload:
-    """One input assignment of a ``check_all`` sweep, picklable."""
+def _shard_spans(
+    start: int, stop: int, shard_states: Optional[int]
+) -> list[tuple[int, int]]:
+    """Split the assignment cursor range into ``[lo, hi)`` shard spans.
 
-    system: object
-    model: object
-    budget: Budget
-    strict: bool
-    assignment: tuple
-    inner: Optional[ExplorationCheckpoint]
-    preflight: bool = True
+    ``shard_states`` is the number of root assignments per shard
+    (default 1 — maximal stealing granularity; payloads are O(span), so
+    fine shards cost nothing on the wire).
+    """
+    if shard_states is not None and shard_states < 1:
+        raise ValueError("shard_states must be >= 1")
+    size = shard_states or 1
+    return [(lo, min(lo + size, stop)) for lo in range(start, stop, size)]
 
 
-def _check_assignment_unit(payload: _AssignmentPayload) -> ConsensusReport:
-    """Pool unit: BFS one input assignment (runs in a worker process).
+class _SweepContext:
+    """Shared worker-side inputs of one parallel ``check_all`` sweep.
+
+    Shipped to each worker **once** via ``run_units(..., context=...)``,
+    never per shard: the checker built from it — and with it the resolved
+    successor cache and the per-process preflight memo — is reused by
+    every shard the worker runs.  That sharing is the heart of the E14
+    fix: the historical per-unit payload pickled its own system copy, so
+    the preflight probe's per-object memo could never hit and every unit
+    re-probed the system.  Sharing one checker across shards is sound
+    because cache transparency (PR 3) guarantees verdicts, witnesses and
+    checkpoints are byte-identical cached or uncached, warm or cold.
+    """
+
+    def __init__(
+        self, system, model, budget, strict, preflight, domain, cache=None
+    ):
+        self.system = system
+        self.model = model
+        self.budget = budget
+        self.strict = strict
+        self.preflight = preflight
+        self.domain = domain
+        self.cache = cache
+        self._checker: Optional[ConsensusChecker] = None
+        self._assignments: Optional[list] = None
+
+    def checker(self) -> ConsensusChecker:
+        """The process-local checker, built once per worker."""
+        if self._checker is None:
+            self._checker = ConsensusChecker(
+                self.system,
+                self.budget,
+                strict=self.strict,
+                cache=self.cache,
+                preflight=self.preflight,
+            )
+        return self._checker
+
+    def assignments(self) -> list:
+        """The full assignment list, in deterministic product order."""
+        if self._assignments is None:
+            from itertools import product
+
+            self._assignments = list(
+                product(self.domain, repeat=self.model.n)
+            )
+        return self._assignments
+
+    def warmup(self) -> None:
+        """Run the memoized preflight probe during pool cold-start.
+
+        Best-effort by contract (the pool swallows warmup errors); an
+        ill-formed system is never memoized as clean, so the first real
+        shard re-probes and reports ILL_FORMED through the normal merge.
+        """
+        checker = self.checker()
+        initial = self.model.initial_state(self.assignments()[0])
+        checker._preflight_gate([initial], None)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_checker"] = None      # caches never cross processes
+        state["_assignments"] = None
+        return state
+
+
+def _check_shard_unit(payload, context: _SweepContext) -> list:
+    """Pool unit: BFS one shard (a span of input assignments).
 
     The contract preflight gates here, inside the fault-isolated worker,
     never in the driver: the probe calls the user's successor function,
@@ -841,21 +949,32 @@ def _check_assignment_unit(payload: _AssignmentPayload) -> ConsensusReport:
     quarantined) rather than the whole sweep.  An ill-formed system is
     returned as an ``ILL_FORMED`` report, which stops the driver's merge
     exactly like any other non-SATISFIED verdict.
+
+    Returns the shard's per-assignment reports in assignment order,
+    truncated at the first non-SATISFIED verdict — the sweep stops there
+    during the merge, so later assignments of the shard would never be
+    read (each assignment still charges its own fresh budget meter,
+    exactly like the sequential path).
     """
-    checker = ConsensusChecker(
-        payload.system, payload.budget, strict=payload.strict,
-        preflight=payload.preflight,
-    )
-    initial = payload.model.initial_state(payload.assignment)
-    refused = checker._preflight_gate([initial], payload.assignment)
-    if refused is not None:
-        return refused
-    return checker._check_one(
-        initial,
-        payload.assignment,
-        checker._budget.meter(),
-        payload.inner,
-    )
+    lo, hi, inner = payload
+    checker = context.checker()
+    assignments = context.assignments()
+    reports: list[ConsensusReport] = []
+    for index in range(lo, hi):
+        assignment = assignments[index]
+        initial = context.model.initial_state(assignment)
+        report = checker._preflight_gate([initial], assignment)
+        if report is None:
+            report = checker._check_one(
+                initial,
+                assignment,
+                checker._budget.meter(),
+                inner if index == lo else None,
+            )
+        reports.append(report)
+        if not report.satisfied:
+            break
+    return reports
 
 
 @dataclass(frozen=True)
@@ -888,12 +1007,56 @@ def run_sweep_unit(unit: SweepUnit) -> ConsensusReport:
     ).check_all(unit.model, checkpoint=unit.resume)
 
 
+class _CampaignContext:
+    """Shared worker-side specs of a parallel campaign.
+
+    One per campaign run, shipped to each worker once; holds every
+    pending unit's :class:`SweepUnit` spec (resume checkpoints stripped —
+    the shard spans encode resume cursors) and lazily builds one
+    :class:`_SweepContext` per unit key per process, so all shards of a
+    unit that land on the same worker share one checker, one warm cache
+    and one preflight memo.
+    """
+
+    def __init__(self, specs: dict):
+        self.specs = specs  # {key: SweepUnit}
+        self._sweeps: dict = {}
+
+    def sweep(self, key) -> "_SweepContext":
+        context = self._sweeps.get(key)
+        if context is None:
+            unit = self.specs[key]
+            context = _SweepContext(
+                system=unit.system,
+                model=unit.model,
+                budget=unit.budget,
+                strict=False,
+                preflight=unit.preflight,
+                domain=(0, 1),
+                cache=unit.cache,
+            )
+            self._sweeps[key] = context
+        return context
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_sweeps"] = {}  # caches never cross processes
+        return state
+
+
+def _campaign_shard_unit(payload, context: _CampaignContext) -> list:
+    """Pool unit: one shard (assignment span) of one campaign sweep."""
+    key, span = payload
+    return _check_shard_unit(span, context.sweep(key))
+
+
 def run_campaign(
     units: Sequence[tuple],
     campaign=None,
     workers: Optional[int] = None,
     pool: Optional[PoolConfig] = None,
     on_unit=None,
+    shard_states: Optional[int] = None,
 ) -> list[tuple]:
     """Run ``(key, SweepUnit)`` campaign units with shared resilience
     semantics; the engine behind the analysis drivers' ``workers=N``.
@@ -901,26 +1064,32 @@ def run_campaign(
     Sequentially (``workers`` None or <= 1) units run one at a time in
     submission order, stopping after the first inconclusive report —
     continuing a sweep whose budget already tripped would be futile.
-    With ``workers > 1`` the pending units run on the fault-isolated
-    pool (:mod:`repro.resilience.pool`) and the reports are merged back
-    **in submission order** with the same early-stop rule, so both paths
-    return identical results for identical inputs; a unit the pool
-    quarantined merges as :func:`quarantined_report` (UNKNOWN with the
-    fault cause) without failing its neighbours.
+    With ``workers > 1`` every pending sweep's root frontier is split
+    into shards of ``shard_states`` input assignments (default 1) and
+    the shards — not the whole sweeps — are scheduled across the
+    fault-isolated pool (:mod:`repro.resilience.pool`), so a campaign of
+    even a *single* heavyweight sweep parallelizes.  Heavy inputs ship
+    once per worker as shared context; shard payloads are index spans.
+    Reports are merged back **in submission order, in assignment order
+    within each sweep** with the same early-stop rule, so both paths
+    return identical results for identical inputs; a shard the pool
+    quarantined merges its sweep as UNKNOWN at the shard's cursor
+    (resumable) without failing its neighbours.
 
     A :class:`~repro.resilience.CampaignCheckpoint` is honoured and
     maintained either way: completed units are reused instantly,
-    conclusive reports are recorded **as workers finish** (an interrupt
-    loses at most in-flight units), and the first inconclusive unit's
-    partial progress is suspended for resume.  *on_unit*, when given, is
-    called as ``on_unit(key, report)`` after each freshly-run unit's
-    campaign update — the CLI hooks its incremental checkpoint autosave
-    here.
+    conclusive reports are recorded **as their last shard finishes** (an
+    interrupt loses at most in-flight units), and the first inconclusive
+    unit's partial progress is suspended for resume.  *on_unit*, when
+    given, is called as ``on_unit(key, report)`` after each freshly-run
+    unit's campaign update — the CLI hooks its incremental checkpoint
+    autosave here.
 
     Returns ``(key, report)`` pairs in submission order, truncated at
     the first inconclusive report.
     """
     import dataclasses
+    from itertools import product
 
     cached: dict = {}
     pending: list[tuple] = []
@@ -935,26 +1104,81 @@ def run_campaign(
         pending.append((key, unit))
 
     reports: Optional[dict] = None
-    if workers is not None and workers > 1 and len(pending) > 1:
-        config = pool or PoolConfig()
-        if config.workers != workers:
-            config = dataclasses.replace(config, workers=workers)
-
-        def record_finished(outcome: UnitOutcome) -> None:
-            if outcome.ok and not outcome.value.inconclusive:
+    if workers is not None and workers > 1 and pending:
+        domain = (0, 1)  # run_sweep_unit's check_all default
+        plans: dict = {}
+        shard_units: list[tuple] = []
+        merged: dict = {}
+        for key, unit in pending:
+            checker = ConsensusChecker(
+                unit.system, unit.budget, cache=unit.cache,
+                preflight=unit.preflight,
+            )
+            assignments = list(product(domain, repeat=unit.model.n))
+            start, total, inner = 0, 0, None
+            if unit.resume is not None:
+                unit.resume.validate_for(
+                    checker._system, unit.model.n, domain
+                )
+                start = unit.resume.assignment_index
+                total = unit.resume.states_total
+                inner = unit.resume.inner
+            spans = _shard_spans(start, len(assignments), shard_states)
+            plans[key] = (checker, unit, assignments, total, spans)
+            for lo, hi in spans:
+                shard_units.append(
+                    ((key, lo), (key, (lo, hi, inner if lo == start else None)))
+                )
+            if not spans:
+                # Resumed past the last assignment: nothing left to run.
+                merged[key] = checker._satisfied_sweep(
+                    domain, unit.model, total
+                )
                 crashpoint("campaign.unit.finish")
                 if campaign is not None:
-                    campaign.record(outcome.key, outcome.value)
+                    campaign.record(key, merged[key])
                 if on_unit is not None:
-                    on_unit(outcome.key, outcome.value)
+                    on_unit(key, merged[key])
+        if shard_units:
+            config = pool or PoolConfig()
+            if config.workers != workers:
+                config = dataclasses.replace(config, workers=workers)
+            specs = {
+                key: dataclasses.replace(unit, resume=None)
+                for key, unit in pending
+            }
+            shard_outcomes: dict = {}
+            remaining = {
+                key: len(plan[4]) for key, plan in plans.items() if plan[4]
+            }
 
-        outcomes = run_units(
-            run_sweep_unit, pending, config, on_complete=record_finished
-        ).outcomes
-        reports = {
-            key: quarantined_report(o) if o.quarantined else o.value
-            for key, o in outcomes.items()
-        }
+            def record_finished(outcome: UnitOutcome) -> None:
+                key, _ = outcome.key
+                shard_outcomes[outcome.key] = outcome
+                remaining[key] -= 1
+                if remaining[key]:
+                    return
+                checker, unit, assignments, total, spans = plans[key]
+                report = checker._merge_shard_spans(
+                    unit.model, domain, assignments, total, spans,
+                    lambda lo: shard_outcomes[(key, lo)],
+                )
+                merged[key] = report
+                if not report.inconclusive:
+                    crashpoint("campaign.unit.finish")
+                    if campaign is not None:
+                        campaign.record(key, report)
+                    if on_unit is not None:
+                        on_unit(key, report)
+
+            run_units(
+                _campaign_shard_unit,
+                shard_units,
+                config,
+                on_complete=record_finished,
+                context=_CampaignContext(specs),
+            )
+        reports = merged
 
     pending_map = dict(pending)
     out: list[tuple] = []

@@ -35,6 +35,7 @@ from repro.resilience.pool import (
     exception_category,
     run_units,
 )
+from repro.resilience.wire import pack_depths, pack_states
 
 
 @dataclass
@@ -92,19 +93,77 @@ def _preflight_or_raise(system, roots, enabled: bool) -> None:
         report.raise_if_ill_formed()
 
 
-def _reachable_shard(payload) -> dict:
+class _ExploreContext:
+    """Shared worker-side inputs of a parallel reachability run.
+
+    Shipped to each worker **once** (via ``run_units(..., context=...)``)
+    instead of once per shard, so per-process memos keyed on the system
+    object — the contract-preflight probe, the successor cache — hit
+    across every shard a worker runs.  This object, not the shard
+    payloads, carries the heavyweight system; shard payloads stay
+    O(shard descriptor): a :class:`~repro.resilience.wire.StatePack` of
+    root configs plus a per-shard budget.
+    """
+
+    def __init__(self, system, max_depth, strict, cache, preflight, probe):
+        self.system = system
+        self.max_depth = max_depth
+        self.strict = strict
+        self.cache = cache
+        self.preflight = preflight
+        self.probe = probe  # StatePack sample of roots for warmup
+        self._resolved = None
+
+    def resolved(self):
+        """The cache-resolved system, one instance per process."""
+        if self._resolved is None:
+            self._resolved = resolve_cache(self.system, self.cache)
+        return self._resolved
+
+    def intern(self, state: GlobalState) -> GlobalState:
+        """Canonicalize an unpacked state into the process-local cache."""
+        resolved = self.resolved()
+        if isinstance(resolved, CachedSystem):
+            return resolved.intern(state)
+        return state
+
+    def warmup(self) -> None:
+        """Run the memoized preflight probe during pool cold-start.
+
+        Best-effort by contract (the pool swallows warmup errors): an
+        ill-formed system is never memoized as clean, so the first real
+        shard re-probes and raises properly inside the fault-isolated
+        attempt where quarantine owns the failure.
+        """
+        _preflight_or_raise(
+            self.resolved(), self.probe.unpack(self.intern), self.preflight
+        )
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_resolved"] = None  # caches never cross processes
+        return state
+
+
+def _reachable_shard(payload, context: _ExploreContext):
     """Pool unit: BFS one shard of the root frontier (worker process).
 
     The contract preflight runs here, inside the fault-isolated worker,
     never in the driver: the probe calls the user's successor function,
     so a crashing system must crash a *worker* (retried, then
-    quarantined) rather than the whole parallel exploration.
+    quarantined) rather than the whole parallel exploration.  The shard's
+    roots arrive packed and are rematerialized through the context's
+    ``intern`` so the BFS runs over canonical states; the discovered
+    region returns packed the same way.
     """
-    system, roots, max_depth, budget, strict, cache, preflight = payload
-    return reachable_states(
-        system, roots, max_depth=max_depth, max_states=budget,
-        strict=strict, cache=cache, preflight=preflight,
+    pack, budget = payload
+    roots = pack.unpack(context.intern)
+    mapping = reachable_states(
+        context.resolved(), roots, max_depth=context.max_depth,
+        max_states=budget, strict=context.strict,
+        preflight=context.preflight,
     )
+    return pack_depths(mapping)
 
 
 def reachable_states_parallel(
@@ -117,20 +176,29 @@ def reachable_states_parallel(
     pool: Optional[PoolConfig] = None,
     cache: CacheSpec = None,
     preflight: bool = True,
+    shard_states: Optional[int] = None,
 ) -> dict[GlobalState, int]:
-    """Frontier-partitioned :func:`reachable_states` over a worker pool.
+    """Frontier-sharded :func:`reachable_states` over a worker pool.
 
-    The root frontier is split round-robin into ``workers`` shards, each
-    shard BFSes independently in its own process, and the per-shard
-    ``{state: depth}`` maps merge by **minimum depth** — multi-root BFS
-    depth is the minimum distance from any root, so the merged map is
-    *identical* to the sequential result (states reachable from several
-    shards are explored redundantly; the merge removes the duplicates).
-    The budget is :meth:`~repro.resilience.Budget.split` across shards so
-    the shards together charge at most the configured limits; a shard
-    whose budget trips raises (strict) or truncates (non-strict) exactly
-    like the sequential engine, and a shard whose worker crashes twice
-    raises ``RuntimeError`` naming the quarantined shard.
+    The root frontier is split into fine-grained shards of
+    ``shard_states`` roots each (default: enough shards for ~4 per
+    worker, so stealing has slack to balance uneven shard costs); each
+    shard BFSes independently in a worker process, and the per-shard
+    ``{state: depth}`` maps merge by **minimum depth** in shard order —
+    multi-root BFS depth is the minimum distance from any root, so the
+    merged map is *identical* to the sequential result (states reachable
+    from several shards are explored redundantly; the merge removes the
+    duplicates).  The budget is :meth:`~repro.resilience.Budget.split`
+    exactly across shards so the shards together charge at most the
+    configured limits; a shard whose budget trips raises (strict) or
+    truncates (non-strict) exactly like the sequential engine, and a
+    shard whose worker crashes twice raises ``RuntimeError`` naming the
+    quarantined shard.
+
+    Plumbing costs are O(shard descriptor), not O(state space): the
+    system ships once per worker as shared context, shard roots travel
+    as packed intern-table configs, and results return the same way
+    (see :mod:`repro.resilience.wire`).
     """
     import dataclasses
 
@@ -142,22 +210,28 @@ def reachable_states_parallel(
             preflight=preflight,
         )
     budget = Budget.of(max_states)
-    shards: list[list[GlobalState]] = [[] for _ in range(min(workers, len(root_list)))]
-    for index, root in enumerate(root_list):
-        shards[index % len(shards)].append(root)
-    shard_budget = budget.split(len(shards))
+    if shard_states is not None and shard_states < 1:
+        raise ValueError("shard_states must be >= 1")
+    size = shard_states or max(
+        1, -(-len(root_list) // (workers * 4))  # ceil division
+    )
+    shards = [
+        root_list[start:start + size]
+        for start in range(0, len(root_list), size)
+    ]
+    budgets = budget.split(len(shards))
     units = [
-        (
-            index,
-            (system, shard, max_depth, shard_budget, strict, cache,
-             preflight),
-        )
+        (index, (pack_states(shard), budgets[index]))
         for index, shard in enumerate(shards)
     ]
+    context = _ExploreContext(
+        system, max_depth, strict, cache, preflight,
+        probe=pack_states(root_list[: min(4, len(root_list))]),
+    )
     config = pool or PoolConfig()
     if config.workers != workers:
         config = dataclasses.replace(config, workers=workers)
-    report = run_units(_reachable_shard, units, config)
+    report = run_units(_reachable_shard, units, config, context=context)
     merged: dict[GlobalState, int] = {}
     for index in range(len(shards)):
         outcome = report.outcomes[index]
@@ -174,7 +248,9 @@ def reachable_states_parallel(
                 and strict
             ):
                 raise ExplorationLimitExceeded(
-                    f"exploration shard {index} exhausted its budget: {cause}"
+                    f"exploration shard {index} exhausted its budget: "
+                    f"{cause}",
+                    shard=index,
                 )
             if category == exception_category(IllFormedSystemError):
                 # The worker's preflight refused the system; re-raise
@@ -187,7 +263,7 @@ def reachable_states_parallel(
             raise RuntimeError(
                 f"exploration shard {index} quarantined: {cause}"
             )
-        for state, depth in outcome.value.items():
+        for state, depth in outcome.value.unpack().items():
             known = merged.get(state)
             if known is None or depth < known:
                 merged[state] = depth

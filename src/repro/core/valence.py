@@ -59,7 +59,16 @@ class ExplorationLimitExceeded(RuntimeError):
     instance is too large for exhaustive analysis.  Engines that degrade
     gracefully (the default) report exhaustion through their results
     instead of raising; pass ``strict=True`` to restore this exception.
+
+    ``shard`` is the index of the exploration shard whose budget tripped
+    when the exception is re-raised by a *parallel* engine (``None`` for
+    sequential runs) — structured so callers can retarget or re-budget
+    the failing shard without parsing the message text.
     """
+
+    def __init__(self, *args, shard: "int | None" = None):
+        super().__init__(*args)
+        self.shard = shard
 
 
 @dataclass(frozen=True, slots=True)

@@ -93,34 +93,51 @@ class Budget:
         """A budget with no limits at all."""
         return cls()
 
-    def split(self, shards: int) -> "Budget":
-        """The per-shard budget for ``shards``-way parallel execution.
+    def split(self, shards: int) -> tuple["Budget", ...]:
+        """The per-shard budgets for ``shards``-way parallel execution.
 
-        Countable limits (states, edges, memory) are divided evenly
-        (ceiling division, floor 1) so the shards *together* charge at
-        most the original budget; the wall-clock **deadline is shared
+        Countable limits (states, edges, memory) **partition exactly**:
+        the sum of every child limit equals the parent's, with the
+        remainder of the integer division spread one-per-shard over the
+        leading shards.  (The historical ceiling division handed every
+        shard ``ceil(limit/shards)``, silently over-allocating up to
+        ``shards - 1`` extra units — a 10-state budget split 3 ways
+        authorized 12 states.)  A limit smaller than the shard count
+        leaves the trailing shards with a zero budget, which trips on
+        their first charge — exactly what the parent budget would have
+        done to that work.  The wall-clock **deadline is shared
         unchanged** — shards run concurrently, so each may use the full
         remaining time.  Shard meters are re-aggregated on merge with
         :func:`merge_stats`.
         """
         if shards <= 1:
-            return self
+            return (self,)
 
-        def _div(value: Optional[int]) -> Optional[int]:
+        def _parts(value: Optional[int]) -> list[Optional[int]]:
             if value is None:
-                return None
-            return max(1, -(-value // shards))
+                return [None] * shards
+            quotient, remainder = divmod(value, shards)
+            return [
+                quotient + (1 if index < remainder else 0)
+                for index in range(shards)
+            ]
 
-        shard = Budget(
-            max_states=_div(self.max_states),
-            max_edges=_div(self.max_edges),
-            max_seconds=self.max_seconds,
-            max_memory_bytes=_div(self.max_memory_bytes),
-        )
-        # Re-anchor the shard's deadline to the parent's: splitting must
-        # not extend the total wall clock.
-        object.__setattr__(shard, "deadline", self.deadline)
-        return shard
+        states = _parts(self.max_states)
+        edges = _parts(self.max_edges)
+        memory = _parts(self.max_memory_bytes)
+        children = []
+        for index in range(shards):
+            child = Budget(
+                max_states=states[index],
+                max_edges=edges[index],
+                max_seconds=self.max_seconds,
+                max_memory_bytes=memory[index],
+            )
+            # Re-anchor the child's deadline to the parent's: splitting
+            # must not extend the total wall clock.
+            object.__setattr__(child, "deadline", self.deadline)
+            children.append(child)
+        return tuple(children)
 
     def meter(self) -> "BudgetMeter":
         """A fresh mutable meter counting against this budget."""

@@ -37,6 +37,35 @@ and returning a picklable value.  ``ConsensusReport`` objects — witnesses
 included — are picklable by design, so verification units return full
 reports.
 
+Two mechanisms keep the plumbing cheap enough for fine-grained units
+(the E14 fix — sub-1x scaling came from shipping rich state per unit):
+
+* **shared context** — ``run_units(..., context=obj)`` pickles *obj*
+  once per worker process (not once per unit) and calls
+  ``fn(payload, context)``; payloads then carry only compact shard
+  descriptors while the heavyweight system/model objects ride the
+  context.  Because every unit a worker runs sees the *same* context
+  object, per-process memos keyed on it (the contract-preflight probe,
+  warm caches) hit across units instead of re-running per unit.  A
+  context may define a ``warmup()`` method, called best-effort once per
+  worker before it reports ready — the hook to move one-time probe
+  costs into the pool's cold-start window.
+* **pinned wire protocol** — every queue and pipe message (payloads,
+  results, heartbeats, ready marks) is encoded with
+  :func:`repro.resilience.wire.dumps`, i.e. ``pickle.HIGHEST_PROTOCOL``,
+  never the interpreter's default protocol.
+
+Scheduling is **pull-based with work stealing** by default: pending
+units sit in a supervisor-side overflow deque and whichever worker goes
+idle first (its ``done`` message is the pull) is handed the next unit —
+a straggler never strands queued work behind it.  The steal arbiter is
+the supervisor rather than a lock in shared memory, deliberately: a
+worker SIGKILLed while holding a shared-deque lock would poison every
+sibling, the exact failure mode the per-worker channels exist to
+prevent.  ``PoolConfig.steal=False`` switches to static round-robin
+assignment (unit *i* waits for worker ``i mod N``), which tests use to
+pin scheduling-independence of merged results.
+
 ``workers <= 1`` degrades to in-process sequential execution with the
 same retry/quarantine semantics for unit *exceptions* (in-process
 execution cannot survive a SIGKILL, by definition), so callers need no
@@ -58,6 +87,8 @@ from typing import Any, Optional
 from repro.log import get_logger
 from repro.resilience.chaos import crashpoint
 from repro.resilience.retry import Deadline, RetryPolicy
+from repro.resilience.wire import dumps as _dumps
+from repro.resilience.wire import loads as _loads
 
 log = get_logger("pool")
 
@@ -112,6 +143,16 @@ class PoolConfig:
         stall_timeout: seconds without a heartbeat after which a busy
             worker is declared hung and killed; None disables stall
             detection.
+        steal: pull-based work stealing (default).  Pending units live
+            in a shared overflow deque and the first worker to go idle
+            takes the next one; ``False`` pins unit *i* to worker
+            ``i mod workers`` (static round-robin), trading load balance
+            for a schedule that is a pure function of the unit order.
+        report_sink: optional callable invoked with the final
+            :class:`PoolReport` just before :func:`run_units` returns —
+            the hook benchmarks use to read ``spawn_seconds`` (pool
+            cold-start) out of engines that do not expose their pool
+            reports.  Supervisor-side only; never pickled to workers.
     """
 
     workers: int = 2
@@ -122,6 +163,10 @@ class PoolConfig:
     retry_seed: int = 0
     heartbeat_interval: float = 0.2
     stall_timeout: Optional[float] = 10.0
+    steal: bool = True
+    report_sink: Optional[Callable[["PoolReport"], None]] = field(
+        default=None, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -221,12 +266,19 @@ class PoolReport:
             an input to any merge).
         workers: how many worker processes served the run (0 = serial).
         seconds: total wall clock of the pool run.
+        spawn_seconds: cold-start window — from the start of the run
+            until the last of the *initially spawned* workers reported
+            ready (process spawned, context unpickled, ``warmup()``
+            run).  ``seconds - spawn_seconds`` approximates the
+            steady-state sweep time; benchmarks report both so process
+            fan-out cost is never silently booked against the engine.
     """
 
     outcomes: dict
     faults: tuple[PoolFault, ...]
     workers: int
     seconds: float
+    spawn_seconds: float = 0.0
 
     def value(self, key) -> Any:
         """The OK value for *key*; raises KeyError / ValueError otherwise."""
@@ -271,26 +323,58 @@ class PoolReport:
 # reports — one crash poisons the whole pool.  With one pipe per worker
 # a dying worker can only tear its own channel, which the supervisor
 # simply stops reading (crash detection resolves the unit).
+#
+# Every message on the queues and pipes is a wire.dumps() frame
+# (pickle.HIGHEST_PROTOCOL) sent via send_bytes/recv_bytes — nothing on
+# the pool's channels falls back to the default pickle protocol.  The
+# one exception is the literal None shutdown sentinel on the task
+# queues, which carries no payload to encode.
 
 def _heartbeat_loop(conn, send_lock, worker_id, key, attempt, interval, stop):
+    frame = _dumps(("beat", worker_id, key, attempt, None))
     while not stop.wait(interval):
         try:
             with send_lock:
-                conn.send(("beat", worker_id, key, attempt, None))
+                conn.send_bytes(frame)
         except Exception:  # channel torn down mid-shutdown: nothing to do
             return
 
 
-def _worker_main(worker_id, task_queue, result_conn, fn, heartbeat_interval):
-    """Worker process body: pull units, run them, report, repeat."""
+def _worker_main(
+    worker_id, task_queue, result_conn, fn, heartbeat_interval, context_bytes
+):
+    """Worker process body: pull units, run them, report, repeat.
+
+    *context_bytes* is the shared context, wire-encoded once by the
+    supervisor; it is decoded here exactly once, so every unit this
+    worker runs sees the same context object and per-process memos keyed
+    on it (preflight probes, warm caches) survive across units.
+    """
     send_lock = threading.Lock()  # main thread vs heartbeat thread
 
     def send(message) -> None:
         try:
             with send_lock:
-                result_conn.send(message)
+                result_conn.send_bytes(_dumps(message))
         except Exception:  # supervisor gone: die quietly with it
             pass
+
+    context = None
+    if context_bytes is not None:
+        context = _loads(context_bytes)
+        warmup = getattr(context, "warmup", None)
+        if callable(warmup):
+            try:
+                crashpoint("worker.warmup")
+                warmup()
+            except Exception:
+                # Warmup is purely a cache-warmer: a context whose
+                # warmup fails will fail identically inside the first
+                # unit, where the fault machinery (retry, quarantine)
+                # owns the error.  Swallowing here keeps a broken
+                # context from crash-looping the respawn logic.
+                pass
+    send(("ready", worker_id, None, 0, None))
 
     parent = multiprocessing.parent_process()
     while True:
@@ -306,7 +390,7 @@ def _worker_main(worker_id, task_queue, result_conn, fn, heartbeat_interval):
             continue
         if item is None:
             return
-        key, attempt, payload = item
+        key, attempt, payload = _loads(item)
         crashpoint("worker.unit.start")
         send(("start", worker_id, key, attempt, None))
         stop = threading.Event()
@@ -325,7 +409,10 @@ def _worker_main(worker_id, task_queue, result_conn, fn, heartbeat_interval):
         )
         beat.start()
         try:
-            value = fn(payload)
+            if context is not None:
+                value = fn(payload, context)
+            else:
+                value = fn(payload)
         except KeyboardInterrupt:
             return
         except BaseException as exc:
@@ -391,7 +478,7 @@ class _Worker:
         self.attempt = attempt
         self.deadline = Deadline.after(unit_timeout)
         self.stall = Deadline.after(stall_timeout)
-        self.queue.put((key, attempt, payload))
+        self.queue.put(_dumps((key, attempt, payload)))
 
     def release(self) -> None:
         self.key = None
@@ -421,12 +508,13 @@ class _Pending:
 class _Supervisor:
     """Drives N worker processes over a fixed set of units."""
 
-    def __init__(self, fn, units, config, on_complete):
+    def __init__(self, fn, units, config, on_complete, context_bytes=None):
         self._fn = fn
         self._units = list(units)
         self._config = config
         self._retry_policy = config.retry_policy()
         self._on_complete = on_complete
+        self._context_bytes = context_bytes
         self._ctx = multiprocessing.get_context()
         self._workers: list[_Worker] = []
         self._pending: list[_Pending] = []
@@ -435,10 +523,18 @@ class _Supervisor:
         self._unit_faults: dict = {}
         self._dispatched_at: dict = {}
         self._next_worker_id = 0
+        self._started = 0.0
+        # Cold-start accounting: the ids of the initially spawned workers
+        # and the instant each reported ready.  spawn_seconds is the run
+        # start to the *last* initial ready — replacement workers spawned
+        # after crashes are steady-state costs, not cold-start.
+        self._initial_ids: set = set()
+        self._ready_at: dict = {}
 
     # -- lifecycle ----------------------------------------------------------
     def run(self) -> PoolReport:
         started = time.monotonic()
+        self._started = started
         for order, (key, payload) in enumerate(self._units):
             if key in self._unit_faults:
                 raise ValueError(f"duplicate unit key {key!r}")
@@ -446,13 +542,19 @@ class _Supervisor:
             self._pending.append(_Pending(key, 1, payload, 0.0, order))
         try:
             for _ in range(min(self._config.workers, len(self._units))):
-                self._workers.append(self._spawn_worker())
+                worker = self._spawn_worker()
+                self._initial_ids.add(worker.id)
+                self._workers.append(worker)
             while len(self._outcomes) < len(self._units):
                 self._dispatch()
                 self._drain(timeout=0.05)
                 self._check_health()
         finally:
             self._shutdown()
+        ready = [
+            self._ready_at[i] for i in self._initial_ids if i in self._ready_at
+        ]
+        spawn_seconds = max(ready) - started if ready else 0.0
         return PoolReport(
             outcomes={
                 key: self._outcomes[key] for key, _ in self._units
@@ -460,6 +562,7 @@ class _Supervisor:
             faults=tuple(self._faults),
             workers=self._config.workers,
             seconds=time.monotonic() - started,
+            spawn_seconds=spawn_seconds,
         )
 
     def _spawn_worker(self) -> _Worker:
@@ -475,6 +578,7 @@ class _Supervisor:
                 send_conn,
                 self._fn,
                 self._config.heartbeat_interval,
+                self._context_bytes,
             ),
             daemon=True,
         )
@@ -505,17 +609,35 @@ class _Supervisor:
 
     # -- scheduling ---------------------------------------------------------
     def _dispatch(self) -> None:
+        # self._pending is the shared overflow deque: every unit not yet
+        # running sits here, supervisor-side.  With steal=True (default)
+        # the first idle worker pulls the front of the ready list — its
+        # "done" message is the pull request — so a straggler never
+        # strands queued work.  With steal=False unit *i* waits for slot
+        # ``i mod slots``: the schedule becomes a pure function of unit
+        # order, which the parity tests exploit.  Either way nothing is
+        # preloaded into worker queues, so crash reassignment never has
+        # to claw a unit back out of a dead worker's queue.
         if not self._pending:
             return
         now = time.monotonic()
         ready = [p for p in self._pending if p.not_before <= now]
         ready.sort(key=lambda p: (p.attempt, p.order))
-        for worker in self._workers:
+        slots = len(self._workers)
+        for slot, worker in enumerate(self._workers):
             if not ready:
                 return
             if worker.busy or not worker.process.is_alive():
                 continue
-            unit = ready.pop(0)
+            if self._config.steal:
+                unit = ready.pop(0)
+            else:
+                unit = next(
+                    (p for p in ready if p.order % slots == slot), None
+                )
+                if unit is None:
+                    continue
+                ready.remove(unit)
             self._pending.remove(unit)
             self._dispatched_at.setdefault(unit.key, now)
             crashpoint("pool.dispatch")
@@ -549,7 +671,7 @@ class _Supervisor:
                 try:
                     if not conn.poll():
                         break
-                    message = conn.recv()
+                    message = _loads(conn.recv_bytes())
                 except Exception:
                     worker.close_channel()
                     break
@@ -563,6 +685,13 @@ class _Supervisor:
 
     def _handle(self, message) -> None:
         kind, worker_id, key, attempt, body = message
+        if kind == "ready":
+            # Sent once per worker process, before any unit: context
+            # decoded and warmup done.  Recorded for every worker; the
+            # report only folds the *initially spawned* ids into
+            # spawn_seconds (replacements are steady-state costs).
+            self._ready_at.setdefault(worker_id, time.monotonic())
+            return
         worker = self._worker_for(worker_id)
         current = (
             worker is not None
@@ -705,11 +834,21 @@ class _Supervisor:
 
 # -- serial fallback ---------------------------------------------------------
 
-def _run_serial(fn, units, config, on_complete) -> PoolReport:
+def _run_serial(fn, units, config, on_complete, context=None) -> PoolReport:
     outcomes: dict = {}
     faults: list[PoolFault] = []
     policy = config.retry_policy()
     started = time.monotonic()
+    if context is not None:
+        warmup = getattr(context, "warmup", None)
+        if callable(warmup):
+            try:
+                warmup()
+            except Exception:
+                # Same contract as the worker side: warmup is a
+                # best-effort cache-warmer; real failures surface inside
+                # the first unit where retry/quarantine own them.
+                pass
     for key, payload in units:
         if key in outcomes:
             raise ValueError(f"duplicate unit key {key!r}")
@@ -720,7 +859,10 @@ def _run_serial(fn, units, config, on_complete) -> PoolReport:
             attempt += 1
             try:
                 crashpoint("worker.unit.start")
-                value = fn(payload)
+                if context is not None:
+                    value = fn(payload, context)
+                else:
+                    value = fn(payload)
                 crashpoint("worker.unit.finish")
             except KeyboardInterrupt:
                 raise
@@ -767,17 +909,19 @@ def _run_serial(fn, units, config, on_complete) -> PoolReport:
 
 
 def run_units(
-    fn: Callable[[Any], Any],
+    fn: Callable[..., Any],
     units: Sequence[tuple],
     config: Optional[PoolConfig] = None,
     on_complete: Optional[Callable[[UnitOutcome], None]] = None,
+    context: Any = None,
 ) -> PoolReport:
     """Run ``fn(payload)`` for every ``(key, payload)`` unit, fault-isolated.
 
     Args:
         fn: a **module-level** callable (must pickle by reference) mapping
             one payload to one picklable result.  It must be deterministic:
-            retries assume re-running a unit reproduces its result.
+            retries assume re-running a unit reproduces its result.  When
+            *context* is given it is called as ``fn(payload, context)``.
         units: ``(key, payload)`` pairs; keys must be unique and hashable,
             payloads picklable.  Submission order fixes the deterministic
             merge order of :attr:`PoolReport.outcomes`.
@@ -790,6 +934,14 @@ def run_units(
             finish, so an interrupt loses at most in-flight units.  Runs
             in completion order, which is scheduling-dependent; anything
             merged into results must use ``outcomes`` instead.
+        context: optional shared object pickled **once per worker
+            process** (vs once per unit) and passed as ``fn``'s second
+            argument.  The E14 lever: heavyweight immutable inputs (the
+            system under test, the model) ride here so per-unit payloads
+            stay O(shard descriptor) and worker-side memos keyed on the
+            context object (preflight probes, warm caches) hit across
+            every unit the worker runs.  May define ``warmup()``, called
+            best-effort once per worker before it accepts units.
 
     Returns:
         A :class:`PoolReport` whose ``outcomes`` preserve unit submission
@@ -801,16 +953,24 @@ def run_units(
     """
     config = config or PoolConfig()
     if not units:
-        return PoolReport(outcomes={}, faults=(), workers=0, seconds=0.0)
-    if config.workers <= 1:
-        return _run_serial(fn, units, config, on_complete)
-    return _Supervisor(fn, units, config, on_complete).run()
+        report = PoolReport(outcomes={}, faults=(), workers=0, seconds=0.0)
+    elif config.workers <= 1:
+        report = _run_serial(fn, units, config, on_complete, context)
+    else:
+        context_bytes = _dumps(context) if context is not None else None
+        report = _Supervisor(
+            fn, units, config, on_complete, context_bytes
+        ).run()
+    if config.report_sink is not None:
+        config.report_sink(report)
+    return report
 
 
 def pool_config_for(
     workers: Optional[int],
     unit_timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
+    steal: Optional[bool] = None,
 ) -> Optional[PoolConfig]:
     """Build a :class:`PoolConfig` from CLI-style optional knobs.
 
@@ -825,4 +985,6 @@ def pool_config_for(
         config = replace(config, unit_timeout=unit_timeout)
     if max_retries is not None:
         config = replace(config, max_retries=max_retries)
+    if steal is not None:
+        config = replace(config, steal=steal)
     return config

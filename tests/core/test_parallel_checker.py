@@ -201,3 +201,55 @@ class TestCrashTolerance:
         assert report.states_explored > 0
         assert report.checkpoint is not None
         assert report.checkpoint.assignment_index == 7  # (1,1,1) is last
+
+
+class TestShardingKnobs:
+    """``shard_states`` and ``steal`` change the schedule, never the
+    verdict: the ordered-span merge is schedule-independent."""
+
+    def test_finest_shards_identical_verdicts(self, st_floodset_tight):
+        sequential = ConsensusChecker(st_floodset_tight).check_all(
+            st_floodset_tight.model
+        )
+        parallel = ConsensusChecker(st_floodset_tight).check_all(
+            st_floodset_tight.model, workers=3, shard_states=1
+        )
+        _assert_reports_equal(parallel, sequential)
+
+    def test_coarse_shards_identical_verdicts(self, st_floodset_fast):
+        sequential = ConsensusChecker(st_floodset_fast).check_all(
+            st_floodset_fast.model
+        )
+        parallel = ConsensusChecker(st_floodset_fast).check_all(
+            st_floodset_fast.model, workers=2, shard_states=3
+        )
+        assert sequential.refuted
+        _assert_reports_equal(parallel, sequential)
+
+    def test_shard_larger_than_sweep_identical_verdicts(
+        self, st_floodset_fast
+    ):
+        sequential = ConsensusChecker(st_floodset_fast).check_all(
+            st_floodset_fast.model
+        )
+        parallel = ConsensusChecker(st_floodset_fast).check_all(
+            st_floodset_fast.model, workers=2, shard_states=10_000
+        )
+        _assert_reports_equal(parallel, sequential)
+
+    def test_steal_disabled_identical_verdicts(self, st_floodset_tight):
+        sequential = ConsensusChecker(st_floodset_tight).check_all(
+            st_floodset_tight.model
+        )
+        parallel = ConsensusChecker(st_floodset_tight).check_all(
+            st_floodset_tight.model,
+            workers=3,
+            pool=PoolConfig(workers=3, steal=False),
+        )
+        _assert_reports_equal(parallel, sequential)
+
+    def test_invalid_shard_states_rejected(self, st_floodset_fast):
+        with pytest.raises(ValueError):
+            ConsensusChecker(st_floodset_fast).check_all(
+                st_floodset_fast.model, workers=2, shard_states=0
+            )

@@ -1,0 +1,73 @@
+"""Parallel-scaling smoke: the pool must never cost more than it pays.
+
+Wall-clock tests are kept out of tier-1 (the ``scaling`` marker — CI
+runs them in their own job) because speedup is a property of the
+machine, not just the code.  The thresholds are core-aware:
+
+* **>= 2 cores**: 4 workers must beat the sequential engine on
+  steady-state time (speedup >= 1.0x) — this is the regression tripwire
+  for the bug this suite was written against, where parallel ``check_all``
+  ran at 0.4-0.6x *regardless* of cores because every shard re-shipped
+  the system and re-ran the contract preflight.
+* **1 core**: no speedup is physically possible (the workers timeslice
+  one CPU), so the bar is a floor — steady-state may cost at most
+  ~1.7x sequential (speedup >= 0.6x).  The historical regression sat
+  well below this floor even on one core.
+
+Speedup is computed on steady-state time (total minus the pool's
+reported ``spawn_seconds``) so process fan-out cost — real, but bounded
+and amortizable — does not mask engine-side regressions.
+"""
+
+import os
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.sync_lower_bound import make_st_system
+from repro.core.checker import ConsensusChecker
+from repro.protocols.eig import EIG
+from repro.resilience.pool import PoolConfig
+
+#: Minimum steady-state speedup at 4 workers when real cores exist.
+MULTI_CORE_FLOOR = 1.0
+#: Minimum steady-state speedup at 4 workers on a single core: pure
+#: overhead bound.  The pre-fix engine measured ~0.4-0.6x here.
+SINGLE_CORE_FLOOR = 0.6
+
+
+def _steady_seconds(workers):
+    """Run the E14 grid (EIG(3), S^t, n=4, t=2) and return the
+    steady-state wall clock and the report."""
+    system = make_st_system(EIG(3), 4, 2)
+    reports = []
+    pool = None
+    if workers > 1:
+        pool = replace(
+            PoolConfig(workers=workers), report_sink=reports.append
+        )
+    start = time.perf_counter()
+    report = ConsensusChecker(system).check_all(
+        system.model, workers=workers, pool=pool
+    )
+    total = time.perf_counter() - start
+    spawn = sum(r.spawn_seconds for r in reports)
+    return total - spawn, report
+
+
+@pytest.mark.scaling
+def test_four_workers_meet_the_core_aware_floor():
+    cores = len(os.sched_getaffinity(0))
+    floor = MULTI_CORE_FLOOR if cores >= 2 else SINGLE_CORE_FLOOR
+    sequential_seconds, sequential = _steady_seconds(1)
+    parallel_seconds, parallel = _steady_seconds(4)
+    assert parallel.verdict is sequential.verdict
+    assert parallel.states_explored == sequential.states_explored
+    speedup = sequential_seconds / parallel_seconds
+    assert speedup >= floor, (
+        f"steady-state speedup {speedup:.2f}x at 4 workers is below the "
+        f"{floor:.1f}x floor for a {cores}-core machine "
+        f"(sequential {sequential_seconds:.2f}s, "
+        f"parallel {parallel_seconds:.2f}s)"
+    )

@@ -1,6 +1,8 @@
 """Unit tests for budgets, meters and graceful checker degradation."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core.checker import ConsensusChecker, Verdict
 from repro.core.valence import ExplorationLimitExceeded
@@ -70,27 +72,73 @@ class TestBudgetOf:
 
 
 class TestBudgetSplit:
-    def test_counts_divide_with_ceiling(self):
-        shard = Budget(max_states=10, max_edges=7).split(3)
-        assert shard.max_states == 4  # ceil(10/3)
-        assert shard.max_edges == 3  # ceil(7/3)
+    def test_counts_partition_exactly(self):
+        shards = Budget(max_states=10, max_edges=7).split(3)
+        assert [s.max_states for s in shards] == [4, 3, 3]
+        assert [s.max_edges for s in shards] == [3, 2, 2]
+        assert sum(s.max_states for s in shards) == 10
+        assert sum(s.max_edges for s in shards) == 7
+
+    def test_no_remainder_over_allocation(self):
+        # The historical ceiling division handed every shard
+        # ceil(limit/shards): a 10-state budget split 3 ways authorized
+        # 12 states in aggregate.  The partition must never exceed the
+        # parent.
+        shards = Budget(max_states=10).split(3)
+        assert sum(s.max_states for s in shards) == 10
 
     def test_single_shard_is_identity(self):
         b = Budget(max_states=10)
-        assert b.split(1) is b
+        assert b.split(1) == (b,)
+        assert b.split(1)[0] is b
 
     def test_unlimited_stays_unlimited(self):
-        shard = Budget.unlimited().split(4)
-        assert shard.max_states is None and shard.max_edges is None
+        shards = Budget.unlimited().split(4)
+        assert len(shards) == 4
+        assert all(s.max_states is None for s in shards)
+        assert all(s.max_edges is None for s in shards)
 
-    def test_floor_of_one(self):
-        assert Budget(max_states=2).split(8).max_states == 1
+    def test_limit_smaller_than_shard_count(self):
+        # 2 states over 8 shards: two shards get 1, six get 0 (which
+        # trip on their first charge — what the parent would have done).
+        shards = Budget(max_states=2).split(8)
+        assert [s.max_states for s in shards] == [1, 1, 0, 0, 0, 0, 0, 0]
+        assert shards[-1].meter().charge_state() == LIMIT_STATES
 
     def test_deadline_shared_not_extended(self):
         b = Budget(max_seconds=60.0)
-        shard = b.split(4)
-        assert shard.deadline == b.deadline
-        assert shard.max_seconds == b.max_seconds
+        for shard in b.split(4):
+            assert shard.deadline == b.deadline
+            assert shard.max_seconds == b.max_seconds
+
+    @given(
+        limit=st.one_of(st.none(), st.integers(min_value=0, max_value=10**6)),
+        edges=st.one_of(st.none(), st.integers(min_value=0, max_value=10**6)),
+        memory=st.one_of(
+            st.none(), st.integers(min_value=0, max_value=10**9)
+        ),
+        shards=st.integers(min_value=1, max_value=64),
+    )
+    def test_property_children_sum_to_parent(
+        self, limit, edges, memory, shards
+    ):
+        parent = Budget(
+            max_states=limit, max_edges=edges, max_memory_bytes=memory
+        )
+        children = parent.split(shards)
+        assert len(children) == shards
+        for name in ("max_states", "max_edges", "max_memory_bytes"):
+            parts = [getattr(c, name) for c in children]
+            total = getattr(parent, name)
+            if total is None:
+                assert all(p is None for p in parts)
+            else:
+                assert sum(parts) == total
+                # Remainder spreads one-per-shard over the leading
+                # shards: the allocation is monotone non-increasing and
+                # never varies by more than one unit.
+                assert parts == sorted(parts, reverse=True)
+                assert parts[0] - parts[-1] <= 1
 
 
 class TestMergeStats:

@@ -316,3 +316,112 @@ class TestStructuredCategories:
         crashed = report.outcomes["crash"]
         assert crashed.quarantined
         assert crashed.error_category() is None
+
+
+# -- shared context, spawn accounting, stealing ------------------------------
+
+class ScalingContext:
+    """Picklable shared context: scales payloads, journals warmups.
+
+    ``warmup`` appends one line to a per-pid file, so a test can count
+    how many times each worker process warmed up (the contract: once).
+    """
+
+    def __init__(self, factor, marker_dir=None):
+        self.factor = factor
+        self.marker_dir = marker_dir
+
+    def warmup(self):
+        if self.marker_dir is not None:
+            path = os.path.join(self.marker_dir, f"warm-{os.getpid()}")
+            with open(path, "a") as fh:
+                fh.write("warm\n")
+
+
+def _scale(payload, context):
+    return payload * context.factor
+
+
+class TestSharedContext:
+    def test_context_threaded_to_every_unit(self):
+        units = [(f"u{i}", i) for i in range(6)]
+        report = run_units(
+            _scale, units, PoolConfig(workers=2), context=ScalingContext(10)
+        )
+        assert [report.value(k) for k, _ in units] == [
+            0, 10, 20, 30, 40, 50,
+        ]
+
+    def test_warmup_runs_once_per_worker_process(self, tmp_path):
+        context = ScalingContext(2, marker_dir=str(tmp_path))
+        units = [(f"u{i}", i) for i in range(8)]
+        run_units(_scale, units, PoolConfig(workers=2), context=context)
+        journals = list(tmp_path.iterdir())
+        assert 1 <= len(journals) <= 2  # one file per worker that spawned
+        for journal in journals:
+            assert journal.read_text() == "warm\n"  # exactly once each
+
+    def test_serial_path_shares_the_contract(self, tmp_path):
+        context = ScalingContext(3, marker_dir=str(tmp_path))
+        report = run_units(
+            _scale, [("u", 7)], PoolConfig(workers=1), context=context
+        )
+        assert report.value("u") == 21
+        warm = tmp_path / f"warm-{os.getpid()}"
+        assert warm.read_text() == "warm\n"
+
+
+class TestSpawnAccounting:
+    def test_parallel_run_reports_spawn_window(self):
+        report = run_units(
+            _square, [(f"u{i}", i) for i in range(4)], PoolConfig(workers=2)
+        )
+        assert 0.0 < report.spawn_seconds <= report.seconds
+
+    def test_serial_run_has_no_spawn_cost(self):
+        report = run_units(_square, [("u", 2)], PoolConfig(workers=1))
+        assert report.spawn_seconds == 0.0
+
+    def test_report_sink_receives_the_final_report(self):
+        seen = []
+        config = PoolConfig(workers=2, report_sink=seen.append)
+        report = run_units(_square, [("u", 3)], config)
+        assert seen == [report]
+
+    def test_report_sink_fires_on_serial_and_empty_runs(self):
+        seen = []
+        run_units(
+            _square, [("u", 3)], PoolConfig(workers=1, report_sink=seen.append)
+        )
+        run_units(
+            _square, [], PoolConfig(workers=2, report_sink=seen.append)
+        )
+        assert len(seen) == 2 and seen[1].outcomes == {}
+
+
+class TestWorkStealing:
+    def test_static_schedule_completes_all_units(self):
+        units = [(f"u{i}", i) for i in range(8)]
+        report = run_units(
+            _square, units, PoolConfig(workers=3, steal=False)
+        )
+        assert [report.value(k) for k, _ in units] == [
+            i * i for i in range(8)
+        ]
+
+    def test_static_schedule_survives_a_crash(self, tmp_path):
+        marker = str(tmp_path / "crashed-once")
+        report = run_units(
+            _kill_once,
+            [("flaky", (marker, 42)), ("ok", (marker + "-other", 7))],
+            PoolConfig(
+                workers=2, max_retries=2, retry_backoff=0.01, steal=False
+            ),
+        )
+        assert report.value("flaky") == 42
+        assert report.outcomes["flaky"].attempts == 2
+
+    def test_pool_config_for_steal_knob(self):
+        assert pool_config_for(4).steal is True
+        assert pool_config_for(4, steal=False).steal is False
+        assert pool_config_for(4, steal=True).steal is True
