@@ -94,6 +94,7 @@ from repro.exitcodes import (
     EXIT_INCONCLUSIVE,
     EXIT_INTERRUPTED,
     EXIT_OK,
+    EXIT_SERVER_UNREACHABLE,
     EXIT_UNEXPECTED,
 )
 from repro.lint import IllFormedSystemError
@@ -521,6 +522,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         tenant_max_states=args.tenant_max_states,
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown=args.breaker_cooldown,
+        heartbeat_interval=args.heartbeat_interval,
+        write_timeout=args.write_timeout,
+        idle_timeout=args.idle_timeout,
+        store_retain=args.store_retain,
     )
     return run_serve(config)
 
@@ -588,6 +593,77 @@ def _cmd_chaos_serve(args: argparse.Namespace, modes: tuple) -> int:
     return EXIT_UNEXPECTED
 
 
+def _cmd_chaos_net(args: argparse.Namespace) -> int:
+    """The ``repro chaos --net`` branch: torture the wire, not the disk.
+
+    Wraps a real server in the fault-injecting proxy and sweeps every
+    fault class x protocol phase, driving the battery through the
+    resilient streaming client.  Exit 0: every cell completed with the
+    clean-network store bytes and dedupe-answered resubmission; 1: some
+    cell lost, duplicated, or diverged; EX_UNAVAILABLE (69): the clean
+    baseline itself never came up — the server is unreachable even
+    without faults, so the sweep has nothing to measure.
+    """
+    from repro.serve.chaos import default_battery
+    from repro.serve.netchaos import netchaos_sweep
+
+    faults = args.net_faults.split(",") if args.net_faults else None
+    phases = args.net_phases.split(",") if args.net_phases else None
+
+    def progress(result) -> None:
+        log.info(
+            "netchaos %s@%s %s (injected=%d reconnects=%d)%s",
+            result.fault,
+            result.phase,
+            "ok" if result.ok else "FAIL",
+            result.injected,
+            result.reconnects,
+            f" ({result.detail})" if result.detail else "",
+        )
+
+    try:
+        sweep = netchaos_sweep(
+            battery=default_battery(args.jobs),
+            workdir=args.workdir,
+            faults=faults,
+            phases=phases,
+            seed=args.seed,
+            run_timeout=args.run_timeout,
+            on_result=progress,
+        )
+    except ValueError as exc:
+        log.error("chaos --net: %s", exc)
+        return EXIT_INCONCLUSIVE
+    print("== Network chaos sweep over `repro serve` ==\n")
+    rows = [
+        [r.fault, r.phase, r.completed, r.consistent, r.deduped,
+         r.injected, r.reconnects, r.detail]
+        for r in sweep.results
+    ]
+    print(
+        render_table(
+            ["fault", "phase", "completed", "consistent", "deduped",
+             "injected", "reconnects", "detail"],
+            rows,
+        )
+    )
+    print("\n" + sweep.describe())
+    if sweep.error:
+        print("UNAVAILABLE: the clean-network baseline never served")
+        return EXIT_SERVER_UNREACHABLE
+    if not sweep.results:
+        log.warning("no fault cells selected — nothing tested")
+        return EXIT_INCONCLUSIVE
+    if sweep.ok:
+        print(
+            "every fault cell held the contract: none lost, none "
+            "duplicated, stores byte-identical, resubmission deduped"
+        )
+        return EXIT_OK
+    print("UNEXPECTED: some network fault lost or corrupted a job!")
+    return EXIT_UNEXPECTED
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     """``repro chaos``: kill/resume sweep over every reachable crashpoint.
 
@@ -613,6 +689,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             args.modes,
         )
         return EXIT_INCONCLUSIVE
+    if args.net:
+        return _cmd_chaos_net(args)
     if args.serve:
         return _cmd_chaos_serve(args, modes)
     argv = list(args.argv)
@@ -906,6 +984,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the server under test with pool process isolation "
         "(slower cycles; durability results are identical)",
     )
+    p.add_argument(
+        "--net",
+        action="store_true",
+        help="torture the wire instead of the disk: wrap the server in "
+        "the fault-injecting proxy, sweep every fault class x protocol "
+        "phase, and require no job lost, none duplicated, stores "
+        "byte-identical to a clean network, resubmission deduped",
+    )
+    p.add_argument(
+        "--net-faults",
+        default=None,
+        metavar="K[,K]",
+        help="restrict --net to these fault kinds (latency, drop, "
+        "reset, truncate, loris, partition; default: all)",
+    )
+    p.add_argument(
+        "--net-phases",
+        default=None,
+        metavar="P[,P]",
+        help="restrict --net to these protocol phases (connect, "
+        "request, response, stream; default: all)",
+    )
     _add_budget_flags(p, suppress=True)
     p.set_defaults(func=_cmd_chaos)
 
@@ -994,6 +1094,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         metavar="SECONDS",
         help="how long a tripped breaker sheds before probing again",
+    )
+    p.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="hb keepalive cadence on idle stream subscriptions",
+    )
+    p.add_argument(
+        "--write-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="reap a connection whose send buffer stays full this long "
+        "(slow-loris / half-open clients; never counted by the breaker)",
+    )
+    p.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="reap a connection silent this long between requests",
+    )
+    p.add_argument(
+        "--store-retain",
+        type=int,
+        default=None,
+        metavar="N",
+        help="GC the verdict store down to the newest N records after "
+        "completions (default: keep everything)",
     )
     _add_budget_flags(p, suppress=True)
     p.set_defaults(func=_cmd_serve)

@@ -19,11 +19,18 @@ name                      value  meaning
 ``EXIT_CHAOS_KILLED``     137    the status ``os._exit`` uses for an injected
                                  chaos death (mirrors 128 + SIGKILL so harnesses
                                  treat both deaths alike)
+``EXIT_SERVER_UNREACHABLE``  69  no server answered at all — connect refused or
+                                 timed out past the whole retry budget, with no
+                                 fault injection to blame (BSD ``EX_UNAVAILABLE``)
 ========================  =====  ==============================================
 
 130 follows the shell convention ``128 + signum`` for SIGINT; process
 supervisors send SIGTERM first and the CLI funnels it through the same
-checkpoint-and-exit path, so both polite stops share the code.
+checkpoint-and-exit path, so both polite stops share the code.  69 is
+``sysexits.h`` ``EX_UNAVAILABLE`` ("service unavailable"), the closest
+thing Unix has to a standard "the thing I needed was not there" code —
+distinct from 2 because an unreachable server says nothing about the
+analysis, and retrying later is the right reaction.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ __all__ = [
     "EXIT_INCONCLUSIVE",
     "EXIT_INTERRUPTED",
     "EXIT_OK",
+    "EXIT_SERVER_UNREACHABLE",
     "EXIT_UNEXPECTED",
 ]
 
@@ -56,3 +64,7 @@ EXIT_INTERRUPTED = 130
 #: ``mode=exit`` death is indistinguishable from a real ``kill -9`` to
 #: any harness checking return codes.
 EXIT_CHAOS_KILLED = 137
+
+#: No server answered: every connect refused or timed out across the
+#: whole retry budget on a clean network (BSD sysexits EX_UNAVAILABLE).
+EXIT_SERVER_UNREACHABLE = 69

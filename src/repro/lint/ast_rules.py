@@ -374,7 +374,18 @@ class StatefulProtocol(AstRule):
 
 @register_ast_rule
 class SwallowedBudget(AstRule):
-    """RP301: a broad except may swallow budget trips and Ctrl-C."""
+    """RP301: a broad except may swallow budget trips and Ctrl-C.
+
+    A broad handler is exempt when it re-raises, or when an earlier
+    sibling handler in the same ``try`` explicitly names one of the
+    control-flow exceptions this rule protects
+    (``ExplorationLimitExceeded``, ``asyncio.CancelledError``,
+    ``KeyboardInterrupt``, ``SystemExit``) *and* bare-re-raises it:
+    the author has then routed those exceptions around the broad
+    clause on purpose (the serve request loop does exactly this with
+    ``except asyncio.CancelledError: raise`` ahead of its
+    no-crash-guarantee ``except Exception``).
+    """
 
     code = "RP301"
     summary = (
@@ -385,27 +396,62 @@ class SwallowedBudget(AstRule):
 
     _BROAD = ("Exception", "BaseException")
 
+    #: Exception names whose explicit re-raising sibling handler
+    #: exempts a later broad handler in the same ``try``.
+    _CONTROL_FLOW = frozenset(
+        {
+            "ExplorationLimitExceeded",
+            "CancelledError",
+            "KeyboardInterrupt",
+            "SystemExit",
+        }
+    )
+
     def check(self, tree: ast.Module, path: str) -> Iterator[LintFinding]:
         for node in ast.walk(tree):
-            if not isinstance(node, ast.ExceptHandler):
+            if not isinstance(node, ast.Try):
                 continue
-            if not self._is_broad(node.type):
-                continue
-            if any(isinstance(n, ast.Raise) for n in ast.walk(node)):
-                continue
-            label = (
-                "bare except:"
-                if node.type is None
-                else f"except {_dotted_tail(node.type)}"
-            )
-            yield self.finding(
-                node,
-                f"{label} without re-raise can swallow "
-                "ExplorationLimitExceeded (budget trips) and "
-                "KeyboardInterrupt; catch specific exceptions or "
-                "re-raise",
-                path,
-            )
+            routed = False
+            for handler in node.handlers:
+                if self._routes_control_flow(handler):
+                    routed = True
+                    continue
+                if not self._is_broad(handler.type):
+                    continue
+                if routed:
+                    continue
+                if any(isinstance(n, ast.Raise) for n in ast.walk(handler)):
+                    continue
+                label = (
+                    "bare except:"
+                    if handler.type is None
+                    else f"except {_dotted_tail(handler.type)}"
+                )
+                yield self.finding(
+                    handler,
+                    f"{label} without re-raise can swallow "
+                    "ExplorationLimitExceeded (budget trips) and "
+                    "KeyboardInterrupt; catch specific exceptions or "
+                    "re-raise, or bare-re-raise the control-flow "
+                    "exception in an earlier except clause",
+                    path,
+                )
+
+    def _routes_control_flow(self, handler: ast.ExceptHandler) -> bool:
+        """Handler that names a control-flow class and bare-re-raises."""
+        if not self._names_control_flow(handler.type):
+            return False
+        return any(
+            isinstance(n, ast.Raise) and n.exc is None
+            for n in ast.walk(handler)
+        )
+
+    def _names_control_flow(self, type_node: ast.expr | None) -> bool:
+        if type_node is None:
+            return False
+        if isinstance(type_node, ast.Tuple):
+            return any(self._names_control_flow(el) for el in type_node.elts)
+        return _dotted_tail(type_node) in self._CONTROL_FLOW
 
     def _is_broad(self, type_node: ast.expr | None) -> bool:
         if type_node is None:
@@ -499,5 +545,102 @@ class SwallowedInterrupt(AstRule):
         return _dotted_tail(type_node) in self._INTERRUPTS
 
 
+@register_ast_rule
+class UnboundedSocketIO(AstRule):
+    """RP303: a socket/stream operation in serve code with no timeout.
+
+    The server and its clients treat the network as hostile (PR 9):
+    every socket connect carries a ``timeout=``, and every awaited
+    stream operation (``readline``/``read``/``readexactly``/
+    ``readuntil``/``drain``/``accept``) is bounded by
+    ``asyncio.wait_for`` — that is what lets the server reap half-open
+    and slow-loris peers instead of leaking a connection handler per
+    attack.  Three patterns violate it:
+
+    * ``socket.create_connection(...)`` without a ``timeout=`` keyword
+      (the stdlib default blocks forever on a black-holed SYN);
+    * ``sock.settimeout(None)`` (explicitly disabling a timeout);
+    * ``await <obj>.<stream op>(...)`` where the awaited call is the
+      stream operation itself rather than an ``asyncio.wait_for``
+      wrapping it.
+
+    Scoped to ``serve/`` paths: campaign code runs interactively where
+    a hung read is visible; the server must bound every wait itself.
+    """
+
+    code = "RP303"
+    summary = (
+        "socket/stream operation in serve code without a timeout — "
+        "pass timeout=, wrap the await in asyncio.wait_for, and never "
+        "settimeout(None)"
+    )
+
+    #: Path components that put a file inside the rule's scope.
+    _SCOPED_DIRS = frozenset({"serve"})
+
+    #: Awaited attribute calls that block on peer-controlled progress.
+    #: (``wait_closed`` and event ``wait``s are excluded: they block on
+    #: server-side state, not on bytes a hostile peer must send.)
+    _AWAITED_IO = frozenset(
+        {"readline", "readexactly", "readuntil", "read", "drain", "accept"}
+    )
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[LintFinding]:
+        if not self._in_scope(path):
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(node, path)
+            elif isinstance(node, ast.Await):
+                yield from self._check_await(node, path)
+
+    def _check_call(
+        self, node: ast.Call, path: str
+    ) -> Iterator[LintFinding]:
+        tail = _dotted_tail(node.func)
+        if tail == "create_connection":
+            if not any(kw.arg == "timeout" for kw in node.keywords):
+                yield self.finding(
+                    node,
+                    "create_connection without timeout= blocks forever "
+                    "on an unreachable peer; pass an explicit timeout",
+                    path,
+                )
+        elif tail == "settimeout":
+            if (
+                node.args
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value is None
+            ):
+                yield self.finding(
+                    node,
+                    "settimeout(None) disables the socket timeout; "
+                    "every serve-path socket must keep a bound",
+                    path,
+                )
+
+    def _check_await(
+        self, node: ast.Await, path: str
+    ) -> Iterator[LintFinding]:
+        call = node.value
+        if not isinstance(call, ast.Call):
+            return
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in self._AWAITED_IO:
+            yield self.finding(
+                node,
+                f"await .{func.attr}(...) has no timeout; wrap it in "
+                "asyncio.wait_for so a silent or stalled peer is "
+                "reaped instead of leaking this coroutine",
+                path,
+            )
+
+    def _in_scope(self, path: str) -> bool:
+        parts = path.replace("\\", "/").split("/")
+        return not self._SCOPED_DIRS.isdisjoint(parts)
+
+
 #: The static rule codes this module registers, in order.
-AST_RULES = ("RP101", "RP102", "RP103", "RP104", "RP105", "RP301", "RP302")
+AST_RULES = (
+    "RP101", "RP102", "RP103", "RP104", "RP105", "RP301", "RP302", "RP303",
+)

@@ -5,6 +5,10 @@ fault-isolated pool, the CRC-framed journal — into a long-running
 process: bounded admission with explicit shedding, per-tenant quotas,
 fingerprint dedupe, a durable content-addressed verdict store, a
 circuit breaker over worker quarantine, and SIGTERM graceful drain.
+Since PR 9 the wire is hostile territory too: streaming verdicts with
+resumable cursors, heartbeat keepalives, reaped write deadlines, a
+reconnecting :class:`ResilientClient`, verdict-store GC, and the
+:mod:`repro.serve.netchaos` fault-injecting proxy that proves all of it.
 See :mod:`repro.serve.server` for the architecture overview.
 """
 
@@ -17,8 +21,15 @@ from repro.serve.admission import (
     REJECT_QUOTA,
 )
 from repro.serve.breaker import CircuitBreaker
-from repro.serve.client import ServeClient, ServerGone, wait_for_endpoint
+from repro.serve.client import (
+    ProtocolError,
+    ResilientClient,
+    ServeClient,
+    ServerGone,
+    wait_for_endpoint,
+)
 from repro.serve.jobs import InvalidJob, JobSpec, run_job
+from repro.serve.netchaos import FaultSchedule, NetChaosProxy, NetFault
 from repro.serve.server import ServeConfig, VerifyServer, run_serve
 from repro.serve.store import StoreCorrupt, VerdictStore
 
@@ -26,12 +37,17 @@ __all__ = [
     "Admission",
     "AdmissionController",
     "CircuitBreaker",
+    "FaultSchedule",
     "InvalidJob",
     "JobSpec",
+    "NetChaosProxy",
+    "NetFault",
+    "ProtocolError",
     "REJECT_DRAINING",
     "REJECT_INVALID",
     "REJECT_QUEUE_FULL",
     "REJECT_QUOTA",
+    "ResilientClient",
     "ServeClient",
     "ServeConfig",
     "ServerGone",

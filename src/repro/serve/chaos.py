@@ -135,6 +135,7 @@ def _start_server(
     env_extra: dict,
     isolation: bool,
     timeout: float,
+    extra_args: tuple = (),
 ) -> subprocess.Popen:
     # A stale endpoint file would make wait_for_endpoint ping a dead
     # incarnation's port; the new server rewrites it after binding.
@@ -155,6 +156,7 @@ def _start_server(
         "--job-timeout", str(timeout),
         "--drain-grace", str(timeout),
     ]
+    argv.extend(extra_args)
     if not isolation:
         argv.append("--no-isolation")
     return subprocess.Popen(

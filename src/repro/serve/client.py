@@ -1,11 +1,44 @@
-"""A small synchronous client for the job server's JSON-line protocol.
+"""Clients for the job server's JSON-line protocol.
 
-Used by the CLI's chaos sweep, the benchmarks, and the tests — all of
-which are synchronous callers that want one request/response at a time
-with explicit timeouts.  Each request opens a fresh connection: the
-server is local, connections are cheap, and a per-request socket means
-a server death surfaces as a clean :class:`ServerGone` on exactly the
-request in flight, never as a wedged shared connection.
+Two layers, matching two fault models:
+
+* :class:`ServeClient` — the raw transport.  One request opens one
+  connection, sends one line, reads one line; any socket-level failure
+  (refused, reset, timeout, mid-line EOF) surfaces as
+  :class:`ServerGone` on exactly the request in flight, never as a
+  wedged shared connection.  :meth:`ServeClient.open_stream` opens the
+  one long-lived connection shape the protocol has — a ``stream``
+  subscription — as an iterator of server frames.
+* :class:`ResilientClient` — the retry layer.  It treats the network as
+  an adversary that may drop, reset, truncate or delay any connection
+  (:mod:`repro.serve.netchaos` is exactly that adversary) and drives
+  reconnection with the shared :class:`~repro.resilience.retry.RetryPolicy`
+  (seeded deterministic jitter) under a per-operation
+  :class:`~repro.resilience.retry.Deadline`.
+
+The retry contract that makes blind resubmission safe:
+
+* every request is **idempotent at the server** — ``submit`` dedupes by
+  job fingerprint (a retried submit is answered from the queue or the
+  durable store, never run twice), ``result``/``stats``/``ping`` are
+  reads, and ``stream`` replays from an explicit cursor;
+* the client resumes a broken stream with ``after = <last acked seq>``,
+  so every event frame is delivered **exactly once** to the caller even
+  across arbitrarily many reconnects (a cursor violation — gap, repeat,
+  or regression — raises :class:`ProtocolError`, it is never silently
+  patched over);
+* backoff delays are a pure function of ``(seed, key, attempt)``
+  (:meth:`RetryPolicy.delay`), so a chaos sweep's retry schedule is
+  reproducible run to run.
+
+Byte handling note (the partial-read/partial-write audit): TCP delivers
+byte streams, not messages.  Every write here goes through ``sendall``
+(which loops until the kernel took every byte) and every read goes
+through :func:`recv_line` (which loops ``recv`` until the delimiter
+arrives, preserving any bytes past it for the next call).  A one-shot
+``recv``/``write`` would work on a loopback socket almost always — and
+then lose frames the first time a proxy, a congested path, or a chaos
+harness fragments them.
 """
 
 from __future__ import annotations
@@ -14,13 +47,39 @@ import json
 import os
 import socket
 import time
+from collections.abc import Iterator
 from typing import Optional
 
-__all__ = ["ServeClient", "ServerGone", "read_endpoint", "wait_for_endpoint"]
+from repro.resilience.retry import Deadline, RetryPolicy
+
+__all__ = [
+    "ProtocolError",
+    "ResilientClient",
+    "ServeClient",
+    "ServerGone",
+    "StreamConnection",
+    "read_endpoint",
+    "recv_line",
+    "wait_for_endpoint",
+]
+
+#: Sanity bound on one protocol line; a peer that exceeds it is not
+#: speaking this protocol.
+MAX_LINE = 8 * 1024 * 1024
 
 
 class ServerGone(ConnectionError):
-    """The server did not answer: refused, reset, or timed out."""
+    """The server did not answer: refused, reset, timed out, or closed
+    the connection mid-exchange.  Always safe to retry — every request
+    is idempotent at the server (see the module docstring)."""
+
+
+class ProtocolError(RuntimeError):
+    """The server answered, but with bytes that violate the protocol
+    (non-JSON, an over-long line, a stream cursor gap or repeat).
+    *Not* retryable: retrying cannot fix a peer that speaks a different
+    protocol, and papering over a cursor violation would turn the
+    exactly-once stream contract into at-least-once."""
 
 
 def read_endpoint(dirpath) -> Optional[tuple[str, int]]:
@@ -60,6 +119,90 @@ def wait_for_endpoint(
     raise ServerGone(f"no server answered in {dirpath} within {timeout}s")
 
 
+def recv_line(sock: socket.socket, buffer: bytearray) -> bytes:
+    """Read one ``\\n``-terminated line with an explicit short-read loop.
+
+    One ``recv`` may return a fragment of a line or several lines fused
+    together; *buffer* carries bytes beyond the returned line to the
+    next call (it is per-connection state, owned by the caller).
+    Returns ``b""`` on a clean EOF at a line boundary.  Raises
+    :class:`ServerGone` for EOF mid-line (a torn frame — the connection
+    died inside a message) and for any socket error or timeout;
+    :class:`ProtocolError` for a line exceeding :data:`MAX_LINE`.
+    """
+    while True:
+        index = buffer.find(b"\n")
+        if index >= 0:
+            line = bytes(buffer[: index + 1])
+            del buffer[: index + 1]
+            return line
+        if len(buffer) > MAX_LINE:
+            raise ProtocolError(
+                f"peer sent {len(buffer)} bytes without a line delimiter"
+            )
+        try:
+            chunk = sock.recv(65536)
+        except OSError as exc:
+            raise ServerGone(f"connection failed mid-read: {exc}") from None
+        if not chunk:
+            if buffer:
+                raise ServerGone(
+                    f"connection closed mid-line ({len(buffer)} byte(s) of "
+                    "a torn frame discarded)"
+                )
+            return b""
+        buffer.extend(chunk)
+
+
+def _decode(line: bytes, where: str) -> dict:
+    try:
+        message = json.loads(line)
+    except ValueError:
+        raise ProtocolError(f"{where}: response line is not JSON") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(f"{where}: response is not an object")
+    return message
+
+
+class StreamConnection:
+    """One live ``stream`` subscription: an iterator of server frames.
+
+    Yields every decoded line the server sends — ``frame`` events and
+    ``hb`` heartbeats alike; cursor accounting lives in
+    :meth:`ResilientClient.stream_events`.  The iterator ends only by
+    raising: :class:`ServerGone` when the connection dies (including a
+    clean close, which mid-protocol means the server went away or began
+    draining) or :class:`ProtocolError` for malformed bytes.  Callers
+    must :meth:`close` (or use ``with``).
+    """
+
+    def __init__(self, sock: socket.socket, where: str) -> None:
+        self._sock = sock
+        self._buffer = bytearray()
+        self._where = where
+
+    def __iter__(self) -> "StreamConnection":
+        return self
+
+    def __next__(self) -> dict:
+        line = recv_line(self._sock, self._buffer)
+        if not line:
+            raise ServerGone(f"{self._where}: stream connection closed")
+        return _decode(line, self._where)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "StreamConnection":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 class ServeClient:
     """One server address plus a default per-request timeout."""
 
@@ -68,25 +211,58 @@ class ServeClient:
         self.port = port
         self.timeout = timeout
 
+    def _where(self) -> str:
+        return f"{self.host}:{self.port}"
+
     def request(self, obj: dict, timeout: Optional[float] = None) -> dict:
         """One request, one response; :class:`ServerGone` on any failure."""
         budget = self.timeout if timeout is None else timeout
+        buffer = bytearray()
         try:
             with socket.create_connection(
                 (self.host, self.port), timeout=budget
             ) as sock:
-                sock.sendall(
-                    json.dumps(obj).encode("utf-8") + b"\n"
-                )
-                with sock.makefile("rb") as fh:
-                    line = fh.readline()
+                sock.sendall(json.dumps(obj).encode("utf-8") + b"\n")
+                line = recv_line(sock, buffer)
         except OSError as exc:
-            raise ServerGone(f"{self.host}:{self.port}: {exc}") from None
+            raise ServerGone(f"{self._where()}: {exc}") from None
         if not line:
             raise ServerGone(
-                f"{self.host}:{self.port}: connection closed mid-request"
+                f"{self._where()}: connection closed mid-request"
             )
-        return json.loads(line)
+        return _decode(line, self._where())
+
+    def open_stream(
+        self,
+        job_id: str,
+        after: int = -1,
+        timeout: Optional[float] = None,
+    ) -> StreamConnection:
+        """Subscribe to a job's event stream, starting past *after*.
+
+        The socket timeout must exceed the server's heartbeat interval:
+        a live stream then always delivers *something* (a frame or an
+        ``hb``) inside the timeout, so a timeout genuinely means the
+        connection is dead, not merely idle.
+        """
+        budget = self.timeout if timeout is None else timeout
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=budget
+            )
+        except OSError as exc:
+            raise ServerGone(f"{self._where()}: {exc}") from None
+        try:
+            sock.sendall(
+                json.dumps(
+                    {"op": "stream", "id": job_id, "after": after}
+                ).encode("utf-8")
+                + b"\n"
+            )
+        except OSError as exc:
+            sock.close()
+            raise ServerGone(f"{self._where()}: {exc}") from None
+        return StreamConnection(sock, self._where())
 
     # -- convenience ops ---------------------------------------------------
     def ping(self) -> dict:
@@ -110,5 +286,193 @@ class ServeClient:
     def result(self, job_id: str) -> dict:
         return self.request({"op": "result", "id": job_id})
 
+    def compact(self, retain: Optional[int] = None) -> dict:
+        request: dict = {"op": "compact"}
+        if retain is not None:
+            request["retain"] = retain
+        return self.request(request)
+
     def shutdown(self) -> dict:
         return self.request({"op": "shutdown"})
+
+
+class ResilientClient:
+    """Reconnect-and-resume wrapper over :class:`ServeClient`.
+
+    *retry* shapes the backoff between reconnects (defaults to 8
+    retries with seeded jitter); *timeout* is the per-connection socket
+    budget.  Every public method takes an optional *deadline* bounding
+    the whole logical operation across however many reconnects it
+    takes; with no deadline the retry budget alone bounds it.
+    ``reconnects`` counts every backoff taken, for tests and benchmarks.
+    """
+
+    #: Default backoff: ~8 retries spanning a few seconds, enough to
+    #: ride out a short partition without turning a dead server into a
+    #: multi-minute hang.
+    DEFAULT_RETRY = RetryPolicy(max_retries=8, base_delay=0.05, jitter=0.5)
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.base = ServeClient(host, port, timeout)
+        self.retry = self.DEFAULT_RETRY if retry is None else retry
+        self.reconnects = 0
+
+    # -- retry plumbing ----------------------------------------------------
+    def _budget(self, deadline: Deadline) -> float:
+        remaining = deadline.remaining()
+        if remaining is None:
+            return self.base.timeout
+        return min(self.base.timeout, max(0.001, remaining))
+
+    def _backoff(self, key: str, attempt: int, deadline: Deadline) -> None:
+        """One retry pause, or :class:`ServerGone` when out of budget."""
+        if deadline.expired() or not self.retry.should_retry(attempt):
+            raise ServerGone(
+                f"{self.base.host}:{self.base.port}: gave up after "
+                f"{attempt} failed attempt(s) on {key}"
+            )
+        delay = self.retry.delay(key, attempt)
+        remaining = deadline.remaining()
+        if remaining is not None:
+            delay = min(delay, remaining)
+        if delay > 0:
+            time.sleep(delay)
+        self.reconnects += 1
+
+    def request(
+        self,
+        obj: dict,
+        deadline: Optional[Deadline] = None,
+        key: Optional[str] = None,
+    ) -> dict:
+        """One idempotent request, retried across connection failures."""
+        deadline = Deadline.never() if deadline is None else deadline
+        key = key if key is not None else str(obj.get("op"))
+        attempt = 0
+        while True:
+            try:
+                return self.base.request(obj, timeout=self._budget(deadline))
+            except ServerGone:
+                attempt += 1
+                self._backoff(key, attempt, deadline)
+
+    # -- idempotent ops ----------------------------------------------------
+    def ping(self, deadline: Optional[Deadline] = None) -> dict:
+        return self.request({"op": "ping"}, deadline)
+
+    def stats(self, deadline: Optional[Deadline] = None) -> dict:
+        return self.request({"op": "stats"}, deadline)["stats"]
+
+    def result(
+        self, job_id: str, deadline: Optional[Deadline] = None
+    ) -> dict:
+        return self.request(
+            {"op": "result", "id": job_id}, deadline, key=f"result:{job_id}"
+        )
+
+    def submit(
+        self,
+        job: dict,
+        tenant: str = "default",
+        deadline: Optional[Deadline] = None,
+    ) -> dict:
+        """Submit without waiting; safe to resubmit blindly.
+
+        A retried submit whose first attempt *was* accepted before the
+        connection died is answered as a duplicate (or straight from
+        the store once complete) — the fingerprint-dedupe path is what
+        makes this loop idempotent.
+        """
+        return self.request(
+            {"op": "submit", "job": job, "tenant": tenant, "wait": False},
+            deadline,
+            key="submit",
+        )
+
+    def stream_events(
+        self,
+        job_id: str,
+        after: int = -1,
+        deadline: Optional[Deadline] = None,
+    ) -> Iterator[tuple[int, dict]]:
+        """Yield ``(seq, event)`` exactly once each, resuming on faults.
+
+        The cursor (*after*, then the last yielded seq) crosses every
+        reconnect, so a frame the server already delivered is never
+        re-yielded and a skipped frame is impossible without raising.
+        Heartbeats and any delivered frame reset the retry attempt
+        counter — backoff budgets reconnect *attempts*, not stream
+        length.  Ends after the ``done`` event.
+        """
+        deadline = Deadline.never() if deadline is None else deadline
+        cursor = after
+        attempt = 0
+        while True:
+            try:
+                with self.base.open_stream(
+                    job_id, cursor, timeout=self._budget(deadline)
+                ) as stream:
+                    for message in stream:
+                        status = message.get("status")
+                        if status == "hb":
+                            attempt = 0
+                            continue
+                        if status == "unknown":
+                            raise ProtocolError(
+                                f"server does not know job {job_id!r}"
+                            )
+                        if status != "frame" or "seq" not in message:
+                            raise ProtocolError(
+                                f"unexpected stream message {message!r}"
+                            )
+                        seq = message["seq"]
+                        if seq != cursor + 1:
+                            raise ProtocolError(
+                                f"stream cursor violated: expected seq "
+                                f"{cursor + 1}, got {seq}"
+                            )
+                        cursor = seq
+                        attempt = 0
+                        event = message.get("event") or {}
+                        yield seq, event
+                        if event.get("type") == "done":
+                            return
+            except ServerGone:
+                attempt += 1
+                self._backoff(f"stream:{job_id}", attempt, deadline)
+
+    def run(
+        self,
+        job: dict,
+        tenant: str = "default",
+        deadline: Optional[Deadline] = None,
+    ) -> dict:
+        """Submit and follow the stream to the final verdict.
+
+        Survives connection faults on both the submit and the stream
+        path.  Returns the final response dict — ``done`` (with the
+        verdict) or ``rejected`` (admission said no; not a network
+        failure, so it is returned, not retried).
+        """
+        deadline = Deadline.never() if deadline is None else deadline
+        response = self.submit(job, tenant, deadline)
+        status = response.get("status")
+        if status in ("done", "rejected"):
+            return response
+        if status != "accepted":
+            raise ProtocolError(f"unexpected submit response {response!r}")
+        final: Optional[dict] = None
+        for _seq, event in self.stream_events(response["id"], -1, deadline):
+            if event.get("type") == "done":
+                final = event.get("response")
+        if not isinstance(final, dict):
+            raise ProtocolError(
+                f"stream for {response['id']!r} ended without a verdict"
+            )
+        return final

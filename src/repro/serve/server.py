@@ -37,8 +37,35 @@ recovery rule holds.
 
 The wire protocol is newline-delimited JSON over TCP — one request
 object per line, one response object per line.  Ops: ``submit``
-(optionally ``wait``-ing for the verdict), ``result``, ``stats``,
-``ping``, ``shutdown``.
+(optionally ``wait``-ing for the verdict), ``result``, ``stream``,
+``stats``, ``ping``, ``compact``, ``shutdown``.
+
+The wire is treated as hostile (PR 9; :mod:`repro.serve.netchaos` is
+the adversary):
+
+* **streaming with resumable cursors** — ``stream`` subscribes to a
+  job's event log (``accepted`` / ``running`` / ``partial`` / ``done``)
+  as ``frame`` lines carrying a monotonically increasing ``seq``.  The
+  log is append-only and reconstructible (from the ledger and store)
+  after restart or in-memory eviction, so a client that reconnects with
+  ``after = <last seq>`` resumes exactly where it left off — frames are
+  delivered exactly once regardless of how many connections it took;
+* **heartbeats** — an idle stream emits ``hb`` lines every
+  ``heartbeat_interval`` seconds, so a client socket timeout above the
+  interval cleanly separates "slow job" from "dead connection";
+* **read/write deadlines that reap, not break** — a connection silent
+  past ``idle_timeout``, or one whose send buffer stays full past
+  ``write_timeout`` (a slow-loris or half-open peer), is closed and
+  counted in ``counters["reaped"]``.  Client-side faults are *never*
+  fed to the circuit breaker — the breaker tracks server-side execution
+  health (pool quarantines) only, so a flapping client cannot degrade
+  service for everyone else;
+* **store GC** — with ``store_retain`` set, the verdict store compacts
+  to the newest N records after completions (crashpoints
+  ``serve.store.compact.*`` cover the rewrite seams); the ``compact``
+  op forces a store+ledger compaction.  A completion record is written
+  at most once per fingerprint even when a GC'd job is resubmitted and
+  re-run, preserving the none-twice ledger invariant.
 """
 
 from __future__ import annotations
@@ -96,11 +123,36 @@ class ServeConfig:
     breaker_cooldown: float = 30.0
     pool_retries: int = 1
     stall_timeout: Optional[float] = 10.0
+    #: Seconds between ``hb`` keepalives on an idle stream.
+    heartbeat_interval: float = 5.0
+    #: A connection whose send buffer stays full this long is reaped.
+    write_timeout: Optional[float] = 10.0
+    #: A connection silent this long between requests is reaped.
+    idle_timeout: Optional[float] = 300.0
+    #: Compact the verdict store down to this many newest records after
+    #: completions (None: keep everything forever).
+    store_retain: Optional[int] = None
 
     def tenant_budget(self) -> Optional[Budget]:
         if self.tenant_max_states is None:
             return None
         return Budget(max_states=self.tenant_max_states)
+
+
+class _SlowClient(Exception):
+    """A connection missed its write deadline; reap it, don't serve it.
+
+    Deliberately *not* routed anywhere near the circuit breaker: a slow
+    or half-open client is a client-side fault, and the breaker guards
+    server-side execution health only.
+    """
+
+
+def _initial_events() -> list[dict]:
+    # Seq 0 is always ``accepted`` — including for recovered jobs, so
+    # the event log a resuming client sees after a server restart lines
+    # up seq-for-seq with the log the dead incarnation was serving.
+    return [{"type": "accepted"}]
 
 
 @dataclass
@@ -115,6 +167,10 @@ class _JobState:
     recovered: bool = False
     response: Optional[dict] = None
     done_event: asyncio.Event = field(default_factory=asyncio.Event)
+    #: Append-only event log streamed to subscribers; index == seq.
+    events: list[dict] = field(default_factory=_initial_events)
+    #: Pulsed (set + replaced) on every append to wake stream waiters.
+    changed: asyncio.Event = field(default_factory=asyncio.Event)
 
 
 class VerifyServer:
@@ -151,6 +207,11 @@ class VerifyServer:
             "recovered": 0,
             "recovered_done": 0,
             "errors": 0,
+            "streams": 0,
+            "heartbeats": 0,
+            "reaped": 0,
+            "compactions": 0,
+            "gc_evicted": 0,
         }
 
     # -- lifecycle ---------------------------------------------------------
@@ -298,7 +359,15 @@ class VerifyServer:
         try:
             while not self._stopping.is_set():
                 try:
-                    line = await reader.readline()
+                    line = await asyncio.wait_for(
+                        reader.readline(), timeout=self.config.idle_timeout
+                    )
+                except (TimeoutError, asyncio.TimeoutError):
+                    # Silent past the idle window: a half-open or
+                    # abandoned connection.  Reap it — and never count
+                    # it against the breaker (client-side fault).
+                    self.counters["reaped"] += 1
+                    break
                 except (asyncio.LimitOverrunError, ValueError):
                     await self._send(
                         writer, {"status": "error", "error": "line-too-long"}
@@ -316,8 +385,14 @@ class VerifyServer:
                     )
                     continue
                 try:
+                    if request.get("op") == "stream":
+                        if not await self._handle_stream(request, writer):
+                            break
+                        continue
                     response = await self._dispatch(request)
                 except asyncio.CancelledError:
+                    raise
+                except (_SlowClient, ConnectionResetError, BrokenPipeError):
                     raise
                 except Exception:
                     # The no-crash guarantee: any internal failure is a
@@ -326,17 +401,31 @@ class VerifyServer:
                     log.exception("request failed")
                     response = {"status": "error", "error": "internal"}
                 await self._send(writer, response)
+        except _SlowClient:
+            self.counters["reaped"] += 1
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
             writer.close()
             with contextlib.suppress(Exception):
-                await writer.wait_closed()
+                await asyncio.wait_for(writer.wait_closed(), timeout=5.0)
 
-    @staticmethod
-    async def _send(writer, obj: dict) -> None:
+    async def _send(self, writer, obj: dict) -> None:
+        """Write one response line, bounded by the write deadline.
+
+        ``drain()`` only blocks once the transport's buffer is full —
+        i.e. when the peer has stopped reading.  A drain that cannot
+        finish inside ``write_timeout`` means a slow-loris or half-open
+        client; :class:`_SlowClient` tells the connection handler to
+        reap it.
+        """
         writer.write(json.dumps(obj, sort_keys=True).encode("utf-8") + b"\n")
-        await writer.drain()
+        try:
+            await asyncio.wait_for(
+                writer.drain(), timeout=self.config.write_timeout
+            )
+        except (TimeoutError, asyncio.TimeoutError):
+            raise _SlowClient() from None
 
     async def _dispatch(self, request: dict) -> dict:
         op = request.get("op")
@@ -348,10 +437,142 @@ class VerifyServer:
             return await self._handle_submit(request)
         if op == "result":
             return self._handle_result(request)
+        if op == "compact":
+            return self._handle_compact(request)
         if op == "shutdown":
             self._begin_drain(None)
             return {"status": "ok", "draining": True}
         return {"status": "error", "error": f"unknown op {op!r}"}
+
+    # -- streaming ---------------------------------------------------------
+    def _event(self, state: _JobState, event: dict) -> None:
+        """Append to the job's event log and wake every stream waiter."""
+        state.events.append(event)
+        waiters = state.changed
+        state.changed = asyncio.Event()
+        waiters.set()
+
+    def _synth_events(self, fingerprint: str) -> Optional[list[dict]]:
+        """Reconstruct a finished job's event log from durable state.
+
+        Used when the in-memory state is gone — server restart or
+        RETAIN_DONE eviction.  The synthetic log has the same shape and
+        seq numbering a live subscriber saw (``accepted``, ``running``,
+        [``partial``,] ``done``), so a resuming cursor still lands on
+        exactly the frames it has not consumed yet.
+        """
+        assert self._store is not None and self._ledger is not None
+        stored = self._store.get(fingerprint)
+        if stored is not None:
+            return [
+                {"type": "accepted"},
+                {"type": "running"},
+                {"type": "partial", "stored": True},
+                {
+                    "type": "done",
+                    "response": {
+                        "status": "done",
+                        "id": fingerprint,
+                        "result": stored["record"],
+                    },
+                },
+            ]
+        done = self._ledger.completed.get(f"done:{fingerprint}")
+        if done is not None:
+            return [
+                {"type": "accepted"},
+                {"type": "running"},
+                {
+                    "type": "done",
+                    "response": {
+                        "status": "done",
+                        "id": fingerprint,
+                        "stored": False,
+                        "outcome": done.get("outcome"),
+                    },
+                },
+            ]
+        return None
+
+    async def _handle_stream(self, request: dict, writer) -> bool:
+        """Serve one ``stream`` subscription; True keeps the connection.
+
+        Replays every event with ``seq > after`` in order, then follows
+        the live log, emitting ``hb`` keepalives while nothing happens.
+        Ends (returning to the request loop) after the ``done`` frame.
+        Returns False only when the server began stopping mid-stream —
+        the client's reconnect will be answered by the next incarnation.
+        """
+        fingerprint = request.get("id")
+        after = request.get("after", -1)
+        if (
+            not isinstance(fingerprint, str)
+            or isinstance(after, bool)
+            or not isinstance(after, int)
+            or after < -1
+        ):
+            await self._send(
+                writer,
+                {
+                    "status": "error",
+                    "error": "stream needs a string id and integer after >= -1",
+                },
+            )
+            return True
+        self.counters["streams"] += 1
+        cursor = after
+        while not self._stopping.is_set():
+            state = self._jobs.get(fingerprint)
+            if state is not None:
+                events: list[dict] = state.events
+                changed: Optional[asyncio.Event] = state.changed
+            else:
+                synthetic = self._synth_events(fingerprint)
+                if synthetic is None:
+                    await self._send(
+                        writer, {"status": "unknown", "id": fingerprint}
+                    )
+                    return True
+                events = synthetic
+                changed = None
+            while cursor + 1 < len(events):
+                cursor += 1
+                await self._send(
+                    writer,
+                    {
+                        "status": "frame",
+                        "id": fingerprint,
+                        "seq": cursor,
+                        "event": events[cursor],
+                    },
+                )
+            if (
+                events
+                and events[-1].get("type") == "done"
+                and cursor == len(events) - 1
+            ):
+                return True
+            if changed is None:
+                # Synthetic logs always end in done; only a cursor past
+                # the synthetic tail lands here.
+                await self._send(
+                    writer, {"status": "unknown", "id": fingerprint}
+                )
+                return True
+            stop_wait = asyncio.ensure_future(self._stopping.wait())
+            event_wait = asyncio.ensure_future(changed.wait())
+            finished, pending = await asyncio.wait(
+                {stop_wait, event_wait},
+                timeout=self.config.heartbeat_interval,
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+            if not finished:
+                self.counters["heartbeats"] += 1
+                await self._send(writer, {"status": "hb", "id": fingerprint})
+        return False
 
     # -- submission --------------------------------------------------------
     async def _handle_submit(self, request: dict) -> dict:
@@ -483,6 +704,7 @@ class VerifyServer:
 
     async def _run_one(self, state: _JobState) -> None:
         state.status = "running"
+        self._event(state, {"type": "running"})
         fingerprint = state.fingerprint
         if state.deadline.expired():
             self._complete(
@@ -568,6 +790,7 @@ class VerifyServer:
         # completion — never a completion without its verdict.
         self._store.put(fingerprint, state.spec.canonical(), record)
         self.counters["stored"] += 1
+        self._event(state, {"type": "partial", "stored": True})
         crashpoint("serve.complete.gap")
         self._complete(
             state,
@@ -583,8 +806,16 @@ class VerifyServer:
         assert self._ledger is not None
         state.status = "done"
         state.response = response
-        self._ledger.record(f"done:{state.fingerprint}", {"outcome": outcome})
+        # At most one completion record per fingerprint, ever: a job
+        # whose stored verdict was GC'd and that was then resubmitted
+        # and re-run already has its done record from the first life —
+        # writing a second would break the none-twice ledger invariant.
+        if f"done:{state.fingerprint}" not in self._ledger.completed:
+            self._ledger.record(
+                f"done:{state.fingerprint}", {"outcome": outcome}
+            )
         crashpoint("serve.complete.post")
+        self._event(state, {"type": "done", "response": dict(response)})
         self._active -= 1
         self.counters["completed"] += 1
         state.done_event.set()
@@ -594,6 +825,39 @@ class VerifyServer:
             old_state = self._jobs.get(old)
             if old_state is not None and old_state.status == "done":
                 del self._jobs[old]
+        self._maybe_gc()
+
+    def _maybe_gc(self) -> None:
+        """Compact the store down to ``store_retain`` newest records."""
+        retain = self.config.store_retain
+        assert self._store is not None
+        if retain is None or len(self._store) <= retain:
+            return
+        evicted = self._store.compact(retain=retain)
+        self.counters["compactions"] += 1
+        self.counters["gc_evicted"] += evicted
+
+    def _handle_compact(self, request: dict) -> dict:
+        """Admin op: force a store + ledger compaction now."""
+        retain = request.get("retain", self.config.store_retain)
+        if retain is not None and (
+            isinstance(retain, bool) or not isinstance(retain, int)
+            or retain < 0
+        ):
+            return {
+                "status": "error",
+                "error": "retain must be a non-negative integer",
+            }
+        assert self._store is not None and self._ledger is not None
+        evicted = self._store.compact(retain=retain)
+        self._ledger.compact()
+        self.counters["compactions"] += 1
+        self.counters["gc_evicted"] += evicted
+        return {
+            "status": "ok",
+            "evicted": evicted,
+            "store_records": len(self._store),
+        }
 
     # -- inspection --------------------------------------------------------
     def stats(self) -> dict:

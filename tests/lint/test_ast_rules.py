@@ -277,6 +277,51 @@ class TestRP301SwallowedBudget:
         )
         assert findings == []
 
+    def test_routed_control_flow_sibling_exempts(self):
+        """A sibling that bare-re-raises CancelledError marks the
+        broad no-crash handler as deliberate (the serve loop idiom)."""
+        findings = _lint(
+            """\
+            async def handle(server, request):
+                try:
+                    return await server.dispatch(request)
+                except asyncio.CancelledError:
+                    raise
+                except Exception:
+                    return {"status": "error"}
+            """
+        )
+        assert findings == []
+
+    def test_sibling_without_reraise_does_not_exempt(self):
+        findings = _lint(
+            """\
+            async def handle(server, request):
+                try:
+                    return await server.dispatch(request)
+                except asyncio.CancelledError:
+                    return None
+                except Exception:
+                    return {"status": "error"}
+            """
+        )
+        assert _codes(findings) == {"RP301"}
+
+    def test_noncontrol_sibling_does_not_exempt(self):
+        """Re-raising an ordinary error class is not a routing marker."""
+        findings = _lint(
+            """\
+            def drive(checker):
+                try:
+                    return checker.check_all()
+                except ValueError:
+                    raise
+                except Exception:
+                    return None
+            """
+        )
+        assert _codes(findings) == {"RP301"}
+
 
 class TestRP302SwallowedInterrupt:
     """RP302 is scoped to protocol/resilience/serve paths and demands a
@@ -391,6 +436,126 @@ class TestRP302SwallowedInterrupt:
 
         src = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
         assert lint_paths([str(src)], select=["RP302"]) == []
+
+
+class TestRP303UnboundedSocketIO:
+    """RP303 is scoped to serve/ paths: every socket connect carries a
+    timeout and every awaited stream op is wait_for-bounded."""
+
+    SCOPED = "src/repro/serve/client.py"
+
+    def _rp303(self, snippet: str, path: str = SCOPED):
+        return _lint(snippet, path=path,
+                     codes=resolve_codes(select=["RP303"]))
+
+    def test_create_connection_without_timeout(self):
+        findings = self._rp303(
+            """\
+            import socket
+
+            def connect(host, port):
+                return socket.create_connection((host, port))
+            """
+        )
+        assert _codes(findings) == {"RP303"}
+        assert findings[0].line == 4
+        assert "timeout" in findings[0].message
+
+    def test_create_connection_with_timeout_is_fine(self):
+        findings = self._rp303(
+            """\
+            import socket
+
+            def connect(host, port, budget):
+                return socket.create_connection((host, port), timeout=budget)
+            """
+        )
+        assert findings == []
+
+    def test_settimeout_none_disables_the_bound(self):
+        findings = self._rp303(
+            """\
+            def disarm(sock):
+                sock.settimeout(None)
+            """
+        )
+        assert _codes(findings) == {"RP303"}
+        assert "settimeout(None)" in findings[0].message
+
+    def test_settimeout_with_a_bound_is_fine(self):
+        findings = self._rp303(
+            """\
+            def arm(sock):
+                sock.settimeout(30.0)
+            """
+        )
+        assert findings == []
+
+    def test_bare_awaited_readline(self):
+        findings = self._rp303(
+            """\
+            async def handle(reader):
+                return await reader.readline()
+            """
+        )
+        assert _codes(findings) == {"RP303"}
+        assert "wait_for" in findings[0].message
+
+    def test_bare_awaited_drain(self):
+        findings = self._rp303(
+            """\
+            async def send(writer, data):
+                writer.write(data)
+                await writer.drain()
+            """
+        )
+        assert _codes(findings) == {"RP303"}
+
+    def test_wait_for_wrapped_await_is_fine(self):
+        """The awaited call is ``asyncio.wait_for`` — the stream op
+        inside it is an argument, not the await target."""
+        findings = self._rp303(
+            """\
+            import asyncio
+
+            async def handle(reader, budget):
+                return await asyncio.wait_for(reader.readline(), budget)
+            """
+        )
+        assert findings == []
+
+    def test_state_waits_are_not_flagged(self):
+        """wait_closed / Event.wait block on server-side state, not on
+        bytes a hostile peer must produce."""
+        findings = self._rp303(
+            """\
+            async def teardown(writer, event):
+                writer.close()
+                await writer.wait_closed()
+                await event.wait()
+            """
+        )
+        assert findings == []
+
+    def test_out_of_scope_paths_are_ignored(self):
+        findings = self._rp303(
+            """\
+            import socket
+
+            def connect(host, port):
+                return socket.create_connection((host, port))
+            """,
+            path="src/repro/protocols/quorum.py",
+        )
+        assert findings == []
+
+    def test_shipped_serve_tree_is_clean(self):
+        """The satellite's acceptance bar: the whole src tree — the
+        serve package in particular — sweeps clean under RP303."""
+        import pathlib
+
+        src = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+        assert lint_paths([str(src)], select=["RP303"]) == []
 
 
 class TestRP999SyntaxError:

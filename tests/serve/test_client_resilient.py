@@ -1,0 +1,415 @@
+"""Client-side resilience: framing, retry, streaming, and reaping.
+
+The unit half exercises :func:`recv_line` and the retry plumbing
+against in-process fake peers (socketpairs and one-shot listeners) so
+the partial-read/partial-write audit has a regression net that runs in
+milliseconds.  The ``@slow`` half drives a real ``repro serve``
+subprocess: stream event shape, reconnect-mid-stream exactly-once
+resume, heartbeat keepalives, idle reaping, and the breaker-isolation
+satellite (client faults never open the circuit breaker).
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.resilience.retry import Deadline, RetryPolicy
+from repro.serve.client import (
+    MAX_LINE,
+    ProtocolError,
+    ResilientClient,
+    ServeClient,
+    ServerGone,
+    recv_line,
+)
+
+from tests.serve.test_server import SLOW_WORK, _client, _probe, _start, _stop
+
+
+# ---------------------------------------------------------------------------
+# recv_line: the short-read loop (partial read/write audit regression).
+# ---------------------------------------------------------------------------
+
+
+class TestRecvLine:
+    def _pair(self):
+        left, right = socket.socketpair()
+        left.settimeout(5.0)
+        right.settimeout(5.0)
+        return left, right
+
+    def test_byte_by_byte_fragmentation(self):
+        """A frame delivered one byte per recv still parses whole."""
+        left, right = self._pair()
+        try:
+            payload = b'{"status": "ok", "tag": "fragmented"}\n'
+            buffer = bytearray()
+
+            def dribble():
+                for i in range(len(payload)):
+                    right.sendall(payload[i : i + 1])
+                    time.sleep(0.001)
+
+            feeder = threading.Thread(target=dribble, daemon=True)
+            feeder.start()
+            line = recv_line(left, buffer)
+            feeder.join(timeout=5.0)
+            assert line == payload
+            assert json.loads(line)["tag"] == "fragmented"
+            assert buffer == bytearray()
+        finally:
+            left.close()
+            right.close()
+
+    def test_fused_lines_are_split_and_buffered(self):
+        """One recv may deliver several lines; the buffer carries the rest."""
+        left, right = self._pair()
+        try:
+            right.sendall(b"first\nsecond\nthird")
+            buffer = bytearray()
+            assert recv_line(left, buffer) == b"first\n"
+            assert recv_line(left, buffer) == b"second\n"
+            assert buffer == bytearray(b"third")
+            right.sendall(b" half\n")
+            assert recv_line(left, buffer) == b"third half\n"
+        finally:
+            left.close()
+            right.close()
+
+    def test_eof_mid_line_is_a_torn_frame(self):
+        left, right = self._pair()
+        try:
+            right.sendall(b'{"status": "trunca')
+            right.close()
+            with pytest.raises(ServerGone, match="torn frame"):
+                recv_line(left, bytearray())
+        finally:
+            left.close()
+
+    def test_clean_eof_at_boundary_is_empty(self):
+        left, right = self._pair()
+        try:
+            right.sendall(b"complete\n")
+            right.close()
+            buffer = bytearray()
+            assert recv_line(left, buffer) == b"complete\n"
+            assert recv_line(left, buffer) == b""
+        finally:
+            left.close()
+
+    def test_oversized_line_is_protocol_error(self):
+        left, right = self._pair()
+        try:
+            buffer = bytearray(b"x" * (MAX_LINE + 1))
+            with pytest.raises(ProtocolError, match="without a line"):
+                recv_line(left, buffer)
+        finally:
+            left.close()
+            right.close()
+
+
+# ---------------------------------------------------------------------------
+# In-process fake peers for the transport and retry layers.
+# ---------------------------------------------------------------------------
+
+
+def _fragmenting_server(response: dict):
+    """A one-shot listener that answers *response* one byte at a time."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port = listener.getsockname()[1]
+
+    def serve():
+        conn, _ = listener.accept()
+        conn.settimeout(5.0)
+        buffer = bytearray()
+        recv_line(conn, buffer)  # consume the request line
+        wire = json.dumps(response).encode() + b"\n"
+        for i in range(len(wire)):
+            conn.sendall(wire[i : i + 1])
+        conn.close()
+        listener.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return port, thread
+
+
+def _free_refusing_port():
+    """A port nothing listens on (bound once, then released)."""
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+_FAST_RETRY = RetryPolicy(max_retries=3, base_delay=0.01, jitter=0.0, seed=7)
+
+
+class TestServeClientTransport:
+    def test_request_survives_fragmented_response(self):
+        port, thread = _fragmenting_server({"status": "ok", "echo": True})
+        client = ServeClient("127.0.0.1", port, timeout=5.0)
+        response = client.request({"op": "ping"})
+        thread.join(timeout=5.0)
+        assert response == {"status": "ok", "echo": True}
+
+    def test_refused_connection_is_server_gone(self):
+        client = ServeClient("127.0.0.1", _free_refusing_port(), timeout=1.0)
+        with pytest.raises(ServerGone):
+            client.request({"op": "ping"})
+
+    def test_non_json_response_is_protocol_error(self):
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def serve():
+            conn, _ = listener.accept()
+            conn.settimeout(5.0)
+            recv_line(conn, bytearray())
+            conn.sendall(b"this is not json\n")
+            conn.close()
+            listener.close()
+
+        threading.Thread(target=serve, daemon=True).start()
+        client = ServeClient("127.0.0.1", port, timeout=5.0)
+        with pytest.raises(ProtocolError, match="not JSON"):
+            client.request({"op": "ping"})
+
+
+class TestResilientRetry:
+    def test_gives_up_after_retry_budget(self):
+        client = ResilientClient(
+            "127.0.0.1", _free_refusing_port(), timeout=0.5,
+            retry=_FAST_RETRY,
+        )
+        with pytest.raises(ServerGone, match="gave up after"):
+            client.ping()
+        assert client.reconnects == _FAST_RETRY.max_retries
+
+    def test_deadline_bounds_the_whole_operation(self):
+        client = ResilientClient(
+            "127.0.0.1", _free_refusing_port(), timeout=0.5,
+            retry=RetryPolicy(max_retries=1000, base_delay=0.02, jitter=0.0),
+        )
+        start = time.monotonic()
+        with pytest.raises(ServerGone):
+            client.ping(deadline=Deadline.after(0.3))
+        assert time.monotonic() - start < 5.0
+
+    def test_recovers_when_the_server_comes_back(self):
+        """First connection dropped at accept, second answered normally —
+        the retry loop must carry the request across the gap."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+        port = listener.getsockname()[1]
+
+        def serve():
+            first, _ = listener.accept()
+            first.close()  # EOF before any byte: mid-request failure
+            second, _ = listener.accept()
+            second.settimeout(5.0)
+            recv_line(second, bytearray())
+            second.sendall(b'{"status": "ok"}\n')
+            second.close()
+            listener.close()
+
+        threading.Thread(target=serve, daemon=True).start()
+        client = ResilientClient(
+            "127.0.0.1", port, timeout=5.0, retry=_FAST_RETRY
+        )
+        assert client.ping() == {"status": "ok"}
+        assert client.reconnects == 1
+
+    def test_backoff_schedule_is_deterministic(self):
+        policy = RetryPolicy(max_retries=5, base_delay=0.05, jitter=0.5, seed=3)
+        first = [policy.delay("submit", attempt) for attempt in range(1, 6)]
+        second = [policy.delay("submit", attempt) for attempt in range(1, 6)]
+        assert first == second
+
+
+# ---------------------------------------------------------------------------
+# Against a live server: stream shape, resume, heartbeats, reaping.
+# ---------------------------------------------------------------------------
+
+
+EXPECTED_TYPES = ["accepted", "running", "partial", "done"]
+
+
+def _collect_frames(client, job_id, after=-1, limit=16):
+    """Read stream frames over one connection until done (or *limit*)."""
+    frames = []
+    with client.open_stream(job_id, after=after, timeout=10.0) as stream:
+        for message in stream:
+            if message.get("status") == "hb":
+                continue
+            assert message["status"] == "frame", message
+            frames.append((message["seq"], message["event"]))
+            if message["event"].get("type") == "done" or len(frames) >= limit:
+                break
+    return frames
+
+
+@pytest.mark.slow
+class TestStreaming:
+    def test_stream_replays_canonical_event_log(self, tmp_path):
+        proc = _start(tmp_path)
+        try:
+            client = _client(tmp_path, proc)
+            done = client.submit(_probe(50, "stream-shape"), wait=True)
+            assert done["status"] == "done"
+
+            frames = _collect_frames(client, done["id"])
+            assert [seq for seq, _ in frames] == [0, 1, 2, 3]
+            assert [event["type"] for _, event in frames] == EXPECTED_TYPES
+            final = frames[-1][1]["response"]
+            assert final["result"]["digest"] == done["result"]["digest"]
+        finally:
+            _stop(proc)
+
+    def test_stream_resumes_past_cursor(self, tmp_path):
+        proc = _start(tmp_path)
+        try:
+            client = _client(tmp_path, proc)
+            done = client.submit(_probe(50, "stream-cursor"), wait=True)
+            frames = _collect_frames(client, done["id"], after=1)
+            assert [seq for seq, _ in frames] == [2, 3]
+        finally:
+            _stop(proc)
+
+    def test_unknown_job_is_reported_not_hung(self, tmp_path):
+        proc = _start(tmp_path)
+        try:
+            client = _client(tmp_path, proc)
+            with client.open_stream("no-such-fingerprint") as stream:
+                message = next(stream)
+            assert message == {"status": "unknown", "id": "no-such-fingerprint"}
+        finally:
+            _stop(proc)
+
+    def test_reconnect_after_each_frame_is_exactly_once(self, tmp_path):
+        """The satellite: kill the connection after every streamed frame;
+        resuming from the acked cursor must deliver each frame exactly
+        once and end in a byte-identical final verdict."""
+        proc = _start(tmp_path, "--heartbeat-interval", "0.2")
+        try:
+            client = _client(tmp_path, proc)
+            accepted = client.submit(_probe(SLOW_WORK, "resume"), wait=False)
+            assert accepted["status"] == "accepted"
+            job_id = accepted["id"]
+
+            seen = []
+            cursor = -1
+            for _ in range(32):  # far above the 4 real frames
+                with client.open_stream(job_id, after=cursor, timeout=10.0) as s:
+                    for message in s:
+                        if message.get("status") == "hb":
+                            continue
+                        assert message["status"] == "frame", message
+                        seen.append((message["seq"], message["event"]))
+                        cursor = message["seq"]
+                        break  # one frame per connection, then kill it
+                if seen and seen[-1][1].get("type") == "done":
+                    break
+
+            assert [seq for seq, _ in seen] == [0, 1, 2, 3]
+            assert [event["type"] for _, event in seen] == EXPECTED_TYPES
+            streamed_final = seen[-1][1]["response"]
+
+            direct = client.result(job_id)
+            assert json.dumps(streamed_final["result"], sort_keys=True) == (
+                json.dumps(direct["result"], sort_keys=True)
+            )
+        finally:
+            _stop(proc)
+
+    def test_resilient_run_returns_final_verdict(self, tmp_path):
+        proc = _start(tmp_path)
+        try:
+            base = _client(tmp_path, proc)
+            client = ResilientClient(
+                base.host, base.port, timeout=10.0, retry=_FAST_RETRY
+            )
+            final = client.run(_probe(50, "resilient-run"))
+            assert final["status"] == "done"
+            again = client.run(_probe(50, "resilient-run"))
+            assert again["result"]["digest"] == final["result"]["digest"]
+            assert base.stats()["counters"]["stored"] == 1
+        finally:
+            _stop(proc)
+
+    def test_heartbeats_flow_on_an_idle_stream(self, tmp_path):
+        proc = _start(tmp_path, "--heartbeat-interval", "0.1")
+        try:
+            client = _client(tmp_path, proc)
+            accepted = client.submit(_probe(SLOW_WORK, "hb"), wait=False)
+            heartbeats = 0
+            with client.open_stream(accepted["id"], timeout=10.0) as stream:
+                for message in stream:
+                    if message.get("status") == "hb":
+                        heartbeats += 1
+                    elif message.get("event", {}).get("type") == "done":
+                        break
+            stats = client.stats()
+            assert stats["counters"]["heartbeats"] >= 1
+            assert heartbeats >= 1
+        finally:
+            _stop(proc)
+
+
+@pytest.mark.slow
+class TestReapingAndBreakerIsolation:
+    def test_idle_connection_is_reaped_without_breaker(self, tmp_path):
+        proc = _start(tmp_path, "--idle-timeout", "0.3")
+        try:
+            client = _client(tmp_path, proc)
+            sock = socket.create_connection(
+                (client.host, client.port), timeout=5.0
+            )
+            try:
+                sock.settimeout(5.0)
+                # Send nothing; the server must close us, not wait forever.
+                assert sock.recv(1) == b""
+            finally:
+                sock.close()
+            stats = client.stats()
+            assert stats["counters"]["reaped"] >= 1
+            assert stats["breaker"]["state"] == "closed"
+            assert stats["breaker"]["opened_total"] == 0
+        finally:
+            _stop(proc)
+
+    def test_flapping_client_never_opens_the_breaker(self, tmp_path):
+        """The satellite: a client that connects and vanishes — mid-line,
+        mid-request, or with a pending stream — must not feed the
+        circuit breaker even at threshold 1."""
+        proc = _start(
+            tmp_path, "--breaker-threshold", "1", "--idle-timeout", "0.3"
+        )
+        try:
+            client = _client(tmp_path, proc)
+            for round_index in range(8):
+                sock = socket.create_connection(
+                    (client.host, client.port), timeout=5.0
+                )
+                try:
+                    if round_index % 2:
+                        sock.sendall(b'{"op": "pi')  # torn request line
+                finally:
+                    sock.close()  # flap: gone before any response
+            # The server must still work, and the breaker never opened.
+            done = client.submit(_probe(50, "flapping"), wait=True)
+            assert done["status"] == "done"
+            stats = client.stats()
+            assert stats["breaker"]["state"] == "closed"
+            assert stats["breaker"]["opened_total"] == 0
+        finally:
+            _stop(proc)

@@ -212,3 +212,79 @@ class TestGracefulDrainAndResume:
             assert stats["store_records"] == len(jobs)
         finally:
             _stop(proc)
+
+
+@pytest.mark.slow
+class TestCompactionAndGC:
+    def test_compact_op_evicts_then_resubmit_reruns_once(self, tmp_path):
+        """Evicting a verdict is a cache eviction, not a correctness
+        event: a resubmitted job re-runs to the same verdict, and the
+        ledger still records its completion exactly once."""
+        from repro.serve.chaos import _ledger_done_counts
+
+        proc = _start(tmp_path)
+        try:
+            client = _client(tmp_path, proc)
+            digests = {}
+            for i in range(3):
+                done = client.submit(_probe(50 + i, f"gc-{i}"), wait=True)
+                assert done["status"] == "done"
+                digests[done["id"]] = done["result"]["digest"]
+
+            compacted = client.compact(retain=0)
+            assert compacted["status"] == "ok"
+            assert compacted["evicted"] == 3
+            assert compacted["store_records"] == 0
+
+            rerun = client.submit(_probe(50, "gc-0"), wait=True)
+            assert rerun["status"] == "done"
+            assert rerun["result"]["digest"] == digests[rerun["id"]]
+            stats = client.stats()
+            # Re-stored after the dedupe miss: 3 originals + 1 re-run.
+            assert stats["counters"]["stored"] == 4
+            assert stats["store_records"] == 1
+        finally:
+            _stop(proc)
+        # The compact op also compacted the ledger into a base snapshot,
+        # so raw unit records may be gone — but never duplicated — and
+        # every completion must survive in the snapshot.
+        done_counts = _ledger_done_counts(str(tmp_path))
+        assert all(count == 1 for count in done_counts.values()), done_counts
+        from repro.resilience.journal import CampaignJournal
+        from repro.serve.chaos import LEDGER_NAME
+
+        ledger = CampaignJournal.resume(str(tmp_path / LEDGER_NAME))
+        try:
+            completed = set(ledger.completed)
+        finally:
+            ledger.close()
+        assert {f"done:{fp}" for fp in digests} <= completed
+
+    def test_store_retain_runs_gc_automatically(self, tmp_path):
+        proc = _start(tmp_path, "--store-retain", "2")
+        try:
+            client = _client(tmp_path, proc)
+            for i in range(5):
+                done = client.submit(_probe(50 + i, f"auto-{i}"), wait=True)
+                assert done["status"] == "done"
+            stats = client.stats()
+            assert stats["store_records"] <= 2
+            assert stats["counters"]["compactions"] >= 1
+            assert stats["counters"]["gc_evicted"] >= 3
+        finally:
+            _stop(proc)
+
+    def test_compact_rejects_bad_retain(self, tmp_path):
+        proc = _start(tmp_path)
+        try:
+            client = _client(tmp_path, proc)
+            for bad in (-1, True, "two"):
+                response = client.request({"op": "compact", "retain": bad})
+                assert response["status"] == "error", (bad, response)
+            # And with no retain configured at all, compact is a no-op
+            # rewrite, never an error.
+            response = client.compact()
+            assert response["status"] == "ok"
+            assert response["evicted"] == 0
+        finally:
+            _stop(proc)

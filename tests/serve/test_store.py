@@ -10,6 +10,7 @@ frame that is not a verdict record, a duplicated fingerprint — must be
 
 import pytest
 
+from repro.resilience.chaos import ChaosInjected, active_plan
 from repro.resilience.frames import encode_frame
 from repro.serve.jobs import canonical_json
 from repro.serve.store import MAGIC, StoreCorrupt, VerdictStore
@@ -141,3 +142,81 @@ class TestCorruptInterior:
         path.write_bytes(MAGIC + encode_frame(b"[1, 2]"))
         with pytest.raises(StoreCorrupt, match="v.store"):
             VerdictStore(path)
+
+
+class TestCompaction:
+    """GC-by-rewrite: newest *retain* survive, atomically, reloadably."""
+
+    def test_retain_keeps_the_newest(self, tmp_path):
+        path = tmp_path / "v.store"
+        _store_with_records(path, 5)
+        with VerdictStore(path) as store:
+            assert store.compact(retain=2) == 3
+            assert store.fingerprints() == ["fp3", "fp4"]
+        with VerdictStore(path) as reloaded:
+            assert reloaded.fingerprints() == ["fp3", "fp4"]
+            assert reloaded.get("fp4")["record"] == {"verdict": "probe", "i": 4}
+            assert reloaded.get("fp0") is None
+
+    def test_retain_none_rewrites_without_eviction(self, tmp_path):
+        path = tmp_path / "v.store"
+        fps = _store_with_records(path, 3)
+        before = path.read_bytes()
+        with VerdictStore(path) as store:
+            assert store.compact() == 0
+            assert store.fingerprints() == fps
+        # An append-only store has no dead bytes: the rewrite is
+        # byte-identical, which is what makes the chaos comparison of
+        # compacted vs uncompacted stores meaningful.
+        assert path.read_bytes() == before
+
+    def test_retain_zero_evicts_everything(self, tmp_path):
+        path = tmp_path / "v.store"
+        _store_with_records(path, 2)
+        with VerdictStore(path) as store:
+            assert store.compact(retain=0) == 2
+            assert len(store) == 0
+        with VerdictStore(path) as reloaded:
+            assert len(reloaded) == 0
+
+    def test_appends_continue_after_compaction(self, tmp_path):
+        path = tmp_path / "v.store"
+        _store_with_records(path, 3)
+        with VerdictStore(path) as store:
+            store.compact(retain=1)
+            assert store.put("fp9", {"kind": "probe"}, {"verdict": "probe"})
+        with VerdictStore(path) as reloaded:
+            assert reloaded.fingerprints() == ["fp2", "fp9"]
+
+    def test_compaction_is_idempotent(self, tmp_path):
+        path = tmp_path / "v.store"
+        _store_with_records(path, 4)
+        with VerdictStore(path) as store:
+            assert store.compact(retain=2) == 2
+            assert store.compact(retain=2) == 0
+            assert store.fingerprints() == ["fp2", "fp3"]
+
+    def test_crash_before_rename_leaves_the_old_store(self, tmp_path):
+        """A failure inside the compaction seam must leave the previous
+        store bytes untouched and no temporary debris behind."""
+        path = tmp_path / "v.store"
+        fps = _store_with_records(path, 3)
+        before = path.read_bytes()
+        with VerdictStore(path) as store:
+            with active_plan("serve.store.compact.rename.pre:1:raise"):
+                with pytest.raises(ChaosInjected):
+                    store.compact(retain=1)
+        assert path.read_bytes() == before
+        assert list(tmp_path.glob("*.tmp")) == []
+        with VerdictStore(path) as reloaded:
+            assert reloaded.fingerprints() == fps
+
+    def test_crash_before_compaction_changes_nothing(self, tmp_path):
+        path = tmp_path / "v.store"
+        _store_with_records(path, 3)
+        before = path.read_bytes()
+        with VerdictStore(path) as store:
+            with active_plan("serve.store.compact.pre:1:raise"):
+                with pytest.raises(ChaosInjected):
+                    store.compact(retain=1)
+        assert path.read_bytes() == before
