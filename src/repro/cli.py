@@ -424,16 +424,21 @@ def _cmd_diameter(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    """``repro lint``: run replint's static and contract engines.
+    """``repro lint``: run replint's static, contract and deep engines.
 
     Exit codes follow lint convention, not the experiment convention:
     0 every target is clean, 1 findings were reported, 2 the analysis
     itself failed (unknown rule code, unreadable path, internal error).
+
+    ``--deep`` adds the interprocedural RP4xx/RP5xx pass on top of the
+    static rules; explicitly ``--select``-ing a deep code without
+    ``--deep`` is an error (exit 2), not a silent clean pass — the whole
+    point of a gate is that silence means checked.
     """
     import dataclasses
 
     from repro.lint import LintError, lint_paths, preflight_system
-    from repro.lint.engine import resolve_codes, rule_table
+    from repro.lint.engine import flow_codes, resolve_codes, rule_table
 
     try:
         if args.list_rules:
@@ -447,14 +452,32 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         select = args.select.split(",") if args.select else None
         ignore = args.ignore.split(",") if args.ignore else None
         codes = resolve_codes(select, ignore)
+        deep_codes = flow_codes()
+        if select is not None and not args.deep:
+            requested_deep = sorted(codes & deep_codes)
+            if requested_deep:
+                raise LintError(
+                    f"rule(s) {', '.join(requested_deep)} need the "
+                    "interprocedural pass: re-run with --deep"
+                )
         if not args.paths and not args.protocol:
             log.error(
                 "nothing to lint: pass paths, --protocol, or --list-rules"
             )
             return EXIT_INCONCLUSIVE
+        if args.deep and not args.paths:
+            raise LintError(
+                "--deep analyzes source trees: pass at least one path"
+            )
         findings = []
         if args.paths:
             findings.extend(lint_paths(args.paths, select, ignore))
+            if args.deep:
+                from repro.lint.flow import deep_lint_paths
+
+                findings.extend(
+                    deep_lint_paths(args.paths, codes & deep_codes)
+                )
         if args.protocol:
             from repro.analysis.impossibility import standard_layerings
 
@@ -479,14 +502,51 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                     dataclasses.replace(f, path=f"<{name}>")
                     for f in report.findings
                 )
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+        suppressed = 0
+        unused_baseline: list = []
+        if args.write_baseline:
+            if not args.baseline:
+                raise LintError("--write-baseline needs --baseline PATH")
+            from repro.lint.output import write_baseline
+
+            write_baseline(args.baseline, findings)
+            log.info(
+                "baseline written: %d suppression(s) -> %s",
+                len(findings),
+                args.baseline,
+            )
+            return EXIT_OK
+        if args.baseline:
+            from repro.lint.output import apply_baseline, load_baseline
+
+            findings, suppressed, unused_baseline = apply_baseline(
+                findings, load_baseline(args.baseline)
+            )
     except LintError as exc:
         log.error("lint error: %s", exc)
         return EXIT_INCONCLUSIVE
     except Exception as exc:  # internal failure, not a finding
         log.error("internal error: %s: %s", type(exc).__name__, exc)
         return EXIT_INCONCLUSIVE
-    for finding in findings:
-        print(finding.format())
+    if args.format == "json":
+        from repro.lint.output import findings_to_json
+
+        print(
+            findings_to_json(findings, suppressed, unused_baseline), end=""
+        )
+    else:
+        for finding in findings:
+            print(finding.format())
+    if suppressed:
+        log.info("%d finding(s) suppressed by baseline", suppressed)
+    for entry in unused_baseline:
+        log.warning(
+            "unused baseline entry: %s %s (%s) — prune it",
+            entry.code,
+            entry.path,
+            entry.symbol,
+        )
     if findings:
         log.info(
             "%d finding(s) across %d rule code(s)",
@@ -1157,6 +1217,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="list every registered rule code and exit",
+    )
+    p.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the interprocedural RP4xx/RP5xx pass (call graph "
+        "+ effect summaries) over the given paths",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="findings output: human text lines (default) or a "
+        "versioned JSON report with witness chains",
+    )
+    p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="suppress findings recorded in this baseline file; only "
+        "findings beyond it gate (exit 1)",
+    )
+    p.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current findings: write them to --baseline "
+        "PATH and exit 0",
     )
     p.add_argument(
         "--protocol",

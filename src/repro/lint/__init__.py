@@ -8,23 +8,39 @@ layer-closed in the sense of the paper's layering definition
 ``S : G -> 2^G \\ {∅}`` (Section 4).  A protocol that iterates a ``set``
 into its messages, calls ``random``, or mutates a
 :class:`~repro.core.state.GlobalState` in place produces garbage verdicts
-with no diagnosis.  This package is the sanitizer for that gap, with two
-engines behind one rule registry:
+with no diagnosis.  This package is the sanitizer for that gap, with
+three engines behind one rule registry:
 
 * **AST lint** (:mod:`repro.lint.ast_rules`, :mod:`repro.lint.engine`) —
-  purely static rules over protocol/layering/model source, each with a
-  stable code: ``RP1xx`` protocol rules, ``RP3xx`` harness rules.
+  purely static single-module rules over protocol/layering/model source:
+  ``RP1xx`` protocol rules, ``RP3xx`` harness rules.
 * **Contract preflight** (:mod:`repro.lint.contracts`) — cheap bounded
   probing of a concrete ``(protocol, layering, model)`` triple before
   expensive exploration: successor determinism, ``failed_at``
   monotonicity, decision irrevocability and layer closure (``RP2xx``
   model/layering rules), each violation reported with a concrete witness
   edge in the style of the checkers' counterexample runs.
+* **Deepflint** (:mod:`repro.lint.flow` — :mod:`~repro.lint.callgraph`,
+  :mod:`~repro.lint.summaries`, :mod:`~repro.lint.flow_rules`,
+  :mod:`~repro.lint.output`) — the interprocedural ``--deep`` pass:
+  a module-level call graph, per-function effect summaries computed to
+  fixpoint, and two rule families over them — ``RP4xx``
+  cache/determinism soundness (transition code transitively reaching
+  nondeterminism, global writes, or receiver mutation, witnessed by the
+  full call chain) and ``RP5xx`` process-safety (pool/wire payloads
+  capturing process-local resources, unpicklable pool entry points).
+
+The authoritative rule inventory is the registry itself: ``repro lint
+--list-rules`` renders it, and README's rule table is asserted against
+it in ``tests/lint/test_rule_inventory.py`` — this docstring names the
+families only, so it cannot go stale as codes are added.
 
 The checkers and explorers run the contract preflight by default
-(``preflight=False`` / ``--no-preflight`` opts out); ``repro lint`` runs
-both engines from the command line, and CI lints the shipped protocol,
-layering and example trees on every push.
+(``preflight=False`` / ``--no-preflight`` opts out) and stay
+deep-free so checker latency is unchanged; ``repro lint`` runs the
+static engine (plus ``--deep`` on request) from the command line, and CI
+gates both the shipped source trees and a ``--deep`` self-sweep of
+``src/repro`` against a checked-in baseline on every push.
 """
 
 from repro.lint.ast_rules import AST_RULES
@@ -43,15 +59,18 @@ from repro.lint.engine import (
     resolve_codes,
     rule_table,
 )
+from repro.lint.flow_rules import FLOW_RULES, deep_lint_paths
 
 __all__ = [
     "AST_RULES",
+    "FLOW_RULES",
     "ContractWitness",
     "IllFormedSystemError",
     "LintError",
     "LintFinding",
     "PreflightReport",
     "all_rules",
+    "deep_lint_paths",
     "lint_paths",
     "lint_source",
     "preflight_system",

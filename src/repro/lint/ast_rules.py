@@ -10,10 +10,14 @@ checkers rely on (cached/uncached parity, deterministic parallel merge,
 checkpoint resume).
 
 These are heuristics, deliberately on the noisy-but-cheap side of the
-trade: they track names, not data flow, so ``import random as r`` or a
-set smuggled through a helper escapes them.  The dynamic contract
-preflight (:mod:`repro.lint.contracts`) is the backstop that catches what
-static analysis cannot.
+trade: they track names within one module, resolving module-level import
+aliases (``import random as r``, ``from time import time as now``) but
+not data flow, so a set smuggled through a helper still escapes them.
+Two backstops catch what single-module analysis cannot: the dynamic
+contract preflight (:mod:`repro.lint.contracts`) probes the concrete
+system, and the interprocedural ``--deep`` pass
+(:mod:`repro.lint.flow_rules`) follows taint across helpers, modules and
+method dispatch.
 """
 
 from __future__ import annotations
@@ -108,6 +112,38 @@ def _root_name(node: ast.expr) -> str:
     return ""
 
 
+def module_aliases(tree: ast.Module) -> dict[str, str]:
+    """Module-level import aliases: local name -> dotted original.
+
+    ``import random as r`` yields ``{"r": "random"}``; ``from time
+    import time as now`` yields ``{"now": "time.time"}``.  Un-aliased
+    ``from``-imports are included too (``{"choice": "random.choice"}``)
+    so alias resolution and the literal-name tables agree on what a call
+    ultimately names.  Only top-level and conditionally-guarded imports
+    count: a function-local import alias is out of a pattern rule's
+    budget (the ``--deep`` pass resolves those).
+    """
+    aliases: dict[str, str] = {}
+    stack: list[ast.stmt] = list(tree.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+        elif isinstance(node, (ast.If, ast.Try)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.stmt):
+                    stack.append(child)
+    return aliases
+
+
 @register_ast_rule
 class NondeterminismCall(AstRule):
     """RP101: protocol code calls a nondeterminism source."""
@@ -119,11 +155,12 @@ class NondeterminismCall(AstRule):
     )
 
     def check(self, tree: ast.Module, path: str) -> Iterator[LintFinding]:
+        aliases = module_aliases(tree)
         for cls in iter_system_classes(tree):
             for node in ast.walk(cls):
                 if not isinstance(node, ast.Call):
                     continue
-                source = self._nondet_source(node.func)
+                source = self._nondet_source(node.func, aliases)
                 if source is not None:
                     yield self.finding(
                         node,
@@ -134,17 +171,34 @@ class NondeterminismCall(AstRule):
                     )
 
     @staticmethod
-    def _nondet_source(func: ast.expr) -> str | None:
+    def _nondet_source(
+        func: ast.expr, aliases: dict[str, str] | None = None
+    ) -> str | None:
+        aliases = aliases or {}
         if isinstance(func, ast.Attribute):
             root = func.value
             if isinstance(root, ast.Name):
-                if root.id in NONDET_MODULES:
-                    return f"{root.id}.{func.attr}"
-                if root.id == "os" and func.attr == "urandom":
+                module = aliases.get(root.id, root.id)
+                if module in NONDET_MODULES:
+                    if module == root.id:
+                        return f"{module}.{func.attr}"
+                    return f"{module}.{func.attr} (via alias {root.id!r})"
+                if module == "os" and func.attr == "urandom":
                     return "os.urandom"
             return None
-        if isinstance(func, ast.Name) and func.id in NONDET_NAMES:
+        if not isinstance(func, ast.Name):
+            return None
+        if func.id in NONDET_NAMES:
             return func.id
+        target = aliases.get(func.id)
+        if target is None:
+            return None
+        module, _, attr = target.rpartition(".")
+        if target == "os.urandom" or (
+            module in NONDET_MODULES
+            or (not module and target in NONDET_MODULES)
+        ):
+            return f"{target} (via alias {func.id!r})"
         return None
 
 

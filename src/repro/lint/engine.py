@@ -6,7 +6,9 @@ Rules are small classes with a stable code, registered at import time:
 * ``RP2xx`` — model/layering contract rules (dynamic,
   :mod:`repro.lint.contracts`; registered here so ``--select``/
   ``--ignore`` and the rule listing cover both engines uniformly);
-* ``RP3xx`` — harness rules (static).
+* ``RP3xx`` — harness rules (static);
+* ``RP4xx``/``RP5xx`` — interprocedural dataflow rules (deep,
+  :mod:`repro.lint.flow_rules`; run only under ``repro lint --deep``).
 
 Codes are API: tests pin them, users suppress them, CI logs them.  A rule
 may be rewritten freely but its code never changes meaning.
@@ -67,10 +69,13 @@ class LintFinding:
 class RuleInfo:
     """Registry metadata for one rule code.
 
-    ``kind`` is ``"ast"`` for static rules (run by :func:`lint_source`)
-    and ``"contract"`` for the dynamic preflight rules (run by
-    :func:`repro.lint.contracts.preflight_system`); both kinds share the
-    code namespace, the selection syntax and the listing.
+    ``kind`` is ``"ast"`` for static rules (run by :func:`lint_source`),
+    ``"contract"`` for the dynamic preflight rules (run by
+    :func:`repro.lint.contracts.preflight_system`), and ``"flow"`` for
+    the interprocedural rules (run by
+    :func:`repro.lint.flow_rules.deep_lint_paths` under ``--deep``);
+    all kinds share the code namespace, the selection syntax and the
+    listing.
     """
 
     code: str
@@ -106,7 +111,14 @@ def rule_table() -> list[tuple[str, str, str]]:
 
 def _ensure_loaded() -> None:
     """Import the rule modules (registration happens at import time)."""
-    from repro.lint import ast_rules, contracts  # noqa: F401
+    from repro.lint import ast_rules, contracts, flow_rules  # noqa: F401
+
+
+def flow_codes() -> frozenset[str]:
+    """The registered deep (kind ``"flow"``) rule codes."""
+    return frozenset(
+        code for code, info in all_rules().items() if info.kind == "flow"
+    )
 
 
 def resolve_codes(
@@ -174,6 +186,12 @@ def register_ast_rule(cls: type[AstRule]) -> type[AstRule]:
 def register_contract_rule(code: str, summary: str) -> str:
     """Register a dynamic (preflight) rule code; returns the code."""
     register_rule(RuleInfo(code=code, summary=summary, kind="contract"))
+    return code
+
+
+def register_flow_rule(code: str, summary: str) -> str:
+    """Register an interprocedural (``--deep``) rule code."""
+    register_rule(RuleInfo(code=code, summary=summary, kind="flow"))
     return code
 
 

@@ -1,0 +1,66 @@
+"""``repro.lint.flow`` — the public face of the deep analysis.
+
+The interprocedural pass lives in three modules with one job each:
+:mod:`repro.lint.callgraph` (parse + resolve), :mod:`repro.lint.summaries`
+(effect lattice + fixpoint), :mod:`repro.lint.flow_rules` (RP4xx/RP5xx
+rule evaluation); :mod:`repro.lint.output` adds the JSON/baseline
+plumbing.  This façade re-exports the pieces a caller actually needs —
+``deep_lint_paths`` for the pass itself, the graph/summary types for
+tests and tooling — so "the deep engine" has one import path:
+
+    from repro.lint.flow import deep_lint_paths
+"""
+
+from __future__ import annotations
+
+from repro.lint.callgraph import (
+    CallGraph,
+    CallSite,
+    FunctionInfo,
+    ModuleIndex,
+    build_call_graph,
+)
+from repro.lint.flow_rules import (
+    FLOW_RULES,
+    FlowWitness,
+    TRANSITION_METHODS,
+    deep_lint_paths,
+    transition_entry_points,
+)
+from repro.lint.output import (
+    Baseline,
+    BaselineEntry,
+    apply_baseline,
+    findings_to_json,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.summaries import (
+    ChainStep,
+    EffectSummary,
+    Taint,
+    compute_summaries,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "CallGraph",
+    "CallSite",
+    "ChainStep",
+    "EffectSummary",
+    "FLOW_RULES",
+    "FlowWitness",
+    "FunctionInfo",
+    "ModuleIndex",
+    "TRANSITION_METHODS",
+    "Taint",
+    "apply_baseline",
+    "build_call_graph",
+    "compute_summaries",
+    "deep_lint_paths",
+    "findings_to_json",
+    "load_baseline",
+    "transition_entry_points",
+    "write_baseline",
+]

@@ -54,6 +54,48 @@ class TestRP101Nondeterminism:
         assert _codes(findings) == {"RP101"}
         assert len(findings) == 3  # time.time, randint, id
 
+    def test_import_alias_is_resolved(self):
+        # ``import random as r`` was a blind spot before the alias map:
+        # the rule keyed on the literal attribute root ``random.``
+        findings = _lint(
+            """\
+            import random as r
+
+            class Coin(Protocol):
+                def step(self, state):
+                    return r.choice([0, 1])
+            """
+        )
+        assert _codes(findings) == {"RP101"}
+        assert "random.choice" in findings[0].message
+        assert "via alias 'r'" in findings[0].message
+
+    def test_from_import_alias_is_resolved(self):
+        findings = _lint(
+            """\
+            from time import time as now
+
+            class Clocked(Protocol):
+                def successors(self, state):
+                    return [(now(), state)]
+            """
+        )
+        assert _codes(findings) == {"RP101"}
+        assert "time.time" in findings[0].message
+        assert "via alias 'now'" in findings[0].message
+
+    def test_innocent_alias_is_fine(self):
+        findings = _lint(
+            """\
+            import itertools as it
+
+            class P(Protocol):
+                def step(self, state):
+                    return list(it.chain([state]))
+            """
+        )
+        assert findings == []
+
     def test_outside_system_class_is_fine(self):
         findings = _lint(
             """\

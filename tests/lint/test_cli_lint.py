@@ -9,6 +9,8 @@ analysis itself failed.  Findings go to stdout (machine-consumable,
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -70,13 +72,172 @@ class TestSelection:
         )
 
 
+class TestSelectIgnorePrecedence:
+    def test_ignore_wins_over_select(self, bad_file):
+        # both name RP101: ignore is subtracted after select, so the
+        # rule stays off — "silence this" always beats "run this"
+        assert (
+            main(
+                [
+                    "lint", "--select", "RP101,RP103",
+                    "--ignore", "RP101", str(bad_file),
+                ]
+            )
+            == 1
+        )
+
+    def test_ignore_all_selected_is_clean(self, bad_file, capsys):
+        assert (
+            main(
+                [
+                    "lint", "--select", "RP101",
+                    "--ignore", "RP101", str(bad_file),
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == ""
+
+    def test_unknown_code_in_ignore_exits_two(self, bad_file):
+        # a typo in --ignore must not silently keep the rule enabled
+        assert main(["lint", "--ignore", "RP999X", str(bad_file)]) == 2
+
+
+@pytest.fixture
+def deep_tree(tmp_path):
+    """A tree whose only defect needs the interprocedural pass."""
+    tree = tmp_path / "deeptree"
+    tree.mkdir()
+    (tree / "helpers.py").write_text(
+        "import random\n\ndef pick(xs):\n    return random.choice(xs)\n"
+    )
+    (tree / "proto.py").write_text(
+        "from helpers import pick\n\n"
+        "class Coin(Protocol):\n"
+        "    def step(self, state):\n"
+        "        return pick([0, 1])\n"
+    )
+    return tree
+
+
+class TestDeepInteraction:
+    def test_selecting_deep_code_without_deep_exits_two(
+        self, deep_tree, capsys
+    ):
+        # the dangerous shape: --select RP401 without --deep finds
+        # nothing by construction; it must error, not report clean
+        assert main(["lint", "--select", "RP401", str(deep_tree)]) == 2
+        err = capsys.readouterr().err
+        assert "--deep" in err and "RP401" in err
+
+    def test_deep_flag_enables_selected_deep_code(
+        self, deep_tree, capsys
+    ):
+        assert (
+            main(
+                ["lint", "--deep", "--select", "RP401", str(deep_tree)]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "RP401" in out
+        assert "call chain" in out  # witness chain rides in the message
+
+    def test_shallow_pass_misses_the_indirect_defect(self, deep_tree):
+        # the same tree is clean to the single-module engine — this is
+        # exactly why selecting RP4xx without --deep must be an error
+        assert main(["lint", str(deep_tree)]) == 0
+
+    def test_deep_without_paths_exits_two(self, capsys):
+        assert (
+            main(
+                [
+                    "lint", "--deep", "--protocol", "quorum",
+                    "--model", "permutation-mp", "--n", "3",
+                ]
+            )
+            == 2
+        )
+        assert "path" in capsys.readouterr().err
+
+    def test_ignore_silences_deep_rule(self, deep_tree):
+        assert (
+            main(
+                ["lint", "--deep", "--ignore", "RP401", str(deep_tree)]
+            )
+            == 0
+        )
+
+
+class TestJsonAndBaseline:
+    def test_json_report_on_stdout(self, deep_tree, capsys):
+        assert (
+            main(
+                ["lint", "--deep", "--format", "json", str(deep_tree)]
+            )
+            == 1
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["version"] == 1
+        assert report["summary"]["by_code"] == {"RP401": 1}
+        (item,) = report["findings"]
+        assert item["chain"][0]["qualname"] == "proto.Coin.step"
+
+    def test_write_then_gate_with_baseline(
+        self, deep_tree, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main(
+                [
+                    "lint", "--deep", "--baseline", str(baseline),
+                    "--write-baseline", str(deep_tree),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # gated rerun: same findings, now suppressed
+        assert (
+            main(
+                [
+                    "lint", "--deep", "--baseline", str(baseline),
+                    str(deep_tree),
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == ""
+
+    def test_write_baseline_requires_baseline_path(self, deep_tree):
+        assert (
+            main(["lint", "--deep", "--write-baseline", str(deep_tree)])
+            == 2
+        )
+
+    def test_malformed_baseline_exits_two(self, deep_tree, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]")
+        assert (
+            main(
+                [
+                    "lint", "--deep", "--baseline", str(bad),
+                    str(deep_tree),
+                ]
+            )
+            == 2
+        )
+
+
 class TestListRules:
-    def test_lists_static_and_contract_rules(self, capsys):
+    def test_lists_static_contract_and_flow_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("RP101", "RP105", "RP201", "RP205", "RP301"):
+        for code in (
+            "RP101", "RP105", "RP201", "RP205", "RP301", "RP401", "RP501"
+        ):
             assert code in out
-        assert "ast" in out and "contract" in out
+        assert "ast" in out and "contract" in out and "flow" in out
 
 
 class TestSystemTarget:

@@ -1,0 +1,324 @@
+"""Effect summaries and the call-graph fixpoint.
+
+Each test builds a small tree, runs the fixpoint, and asserts on the
+summary of one function — including the witness chain, which is the
+part users actually read.  Termination on recursion and mutual
+recursion is pinned explicitly: the lattice argument in the module
+docstring is only as good as the dedup key it rests on.
+"""
+
+from __future__ import annotations
+
+from repro.lint.flow import build_call_graph, compute_summaries
+
+from tests.lint.test_callgraph import write_tree
+
+
+def summarize(tmp_path, files):
+    graph = build_call_graph([str(write_tree(tmp_path, files))])
+    return graph, compute_summaries(graph)
+
+
+class TestDirectEffects:
+    def test_direct_nondet_call(self, tmp_path):
+        _, summaries = summarize(
+            tmp_path,
+            {
+                "mod.py": """
+                import random
+
+                def f():
+                    return random.random()
+                """
+            },
+        )
+        taints = list(summaries["mod.f"].nondet.values())
+        assert len(taints) == 1
+        assert taints[0].detail == "random.random"
+
+    def test_aliased_nondet_call(self, tmp_path):
+        _, summaries = summarize(
+            tmp_path,
+            {
+                "mod.py": """
+                from time import time as now
+
+                def f():
+                    return now()
+                """
+            },
+        )
+        assert any(
+            t.detail == "time.time"
+            for t in summaries["mod.f"].nondet.values()
+        )
+
+    def test_global_dict_write(self, tmp_path):
+        _, summaries = summarize(
+            tmp_path,
+            {
+                "mod.py": """
+                CACHE = {}
+
+                def f(k, v):
+                    CACHE[k] = v
+                """
+            },
+        )
+        assert "global-write:CACHE" in summaries["mod.f"].global_writes
+
+    def test_global_statement_write(self, tmp_path):
+        _, summaries = summarize(
+            tmp_path,
+            {
+                "mod.py": """
+                COUNT = 0
+
+                def f():
+                    global COUNT
+                    COUNT = 1
+                """
+            },
+        )
+        assert "global-write:COUNT" in summaries["mod.f"].global_writes
+
+    def test_local_shadow_is_not_a_global_write(self, tmp_path):
+        _, summaries = summarize(
+            tmp_path,
+            {
+                "mod.py": """
+                CACHE = {}
+
+                def f(k):
+                    CACHE = {}
+                    CACHE[k] = 1
+                    return CACHE
+                """
+            },
+        )
+        assert not summaries["mod.f"].global_writes
+
+    def test_mutator_method_on_global(self, tmp_path):
+        _, summaries = summarize(
+            tmp_path,
+            {
+                "mod.py": """
+                ITEMS = []
+
+                def f(v):
+                    ITEMS.append(v)
+                """
+            },
+        )
+        assert "global-write:ITEMS" in summaries["mod.f"].global_writes
+
+    def test_receiver_write_outside_init(self, tmp_path):
+        _, summaries = summarize(
+            tmp_path,
+            {
+                "mod.py": """
+                class C:
+                    def __init__(self):
+                        self.ok = 1
+
+                    def bad(self):
+                        self.counter = 2
+                """
+            },
+        )
+        assert not summaries["mod.C.__init__"].receiver_writes
+        assert summaries["mod.C.bad"].receiver_writes
+
+    def test_argument_mutation(self, tmp_path):
+        _, summaries = summarize(
+            tmp_path,
+            {
+                "mod.py": """
+                def f(inbox):
+                    inbox.append(1)
+
+                def g(state):
+                    state["k"] = 1
+                """
+            },
+        )
+        assert "arg-mutation:inbox" in summaries["mod.f"].arg_mutations
+        assert "arg-mutation:state" in summaries["mod.g"].arg_mutations
+
+    def test_resource_return(self, tmp_path):
+        _, summaries = summarize(
+            tmp_path,
+            {
+                "mod.py": """
+                def f(path):
+                    return open(path)
+
+                def g(path):
+                    fh = open(path)
+                    return fh
+                """
+            },
+        )
+        for q in ("mod.f", "mod.g"):
+            kinds = {
+                t.kind
+                for t in summaries[q].resource_returns.values()
+            }
+            assert "file handle" in kinds, q
+
+
+class TestPropagation:
+    def test_nondet_chain_two_deep_with_witness(self, tmp_path):
+        _, summaries = summarize(
+            tmp_path,
+            {
+                "mod.py": """
+                import random as r
+
+                def top():
+                    return middle()
+
+                def middle():
+                    return bottom()
+
+                def bottom():
+                    return r.random()
+                """
+            },
+        )
+        taints = list(summaries["mod.top"].nondet.values())
+        assert len(taints) == 1
+        chain = [step.qualname for step in taints[0].chain]
+        assert chain[:3] == ["mod.top", "mod.middle", "mod.bottom"]
+
+    def test_global_write_propagates(self, tmp_path):
+        _, summaries = summarize(
+            tmp_path,
+            {
+                "mod.py": """
+                MEMO = {}
+
+                def caller(k):
+                    return helper(k)
+
+                def helper(k):
+                    MEMO[k] = 1
+                """
+            },
+        )
+        assert "global-write:MEMO" in summaries["mod.caller"].global_writes
+
+    def test_cross_module_propagation(self, tmp_path):
+        _, summaries = summarize(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/noisy.py": """
+                import random
+
+                def roll():
+                    return random.randint(1, 6)
+                """,
+                "pkg/user.py": """
+                from pkg.noisy import roll
+
+                def play():
+                    return roll()
+                """,
+            },
+        )
+        assert summaries["pkg.user.play"].nondet
+
+    def test_resource_propagates_through_returned_call(self, tmp_path):
+        _, summaries = summarize(
+            tmp_path,
+            {
+                "mod.py": """
+                def make():
+                    return open("/tmp/x")
+
+                def relay():
+                    return make()
+                """
+            },
+        )
+        assert summaries["mod.relay"].resource_returns
+
+    def test_arg_mutation_does_not_propagate_blindly(self, tmp_path):
+        # A helper mutating its own parameter says nothing about the
+        # caller's values: the caller may pass a fresh local.
+        _, summaries = summarize(
+            tmp_path,
+            {
+                "mod.py": """
+                def helper(acc):
+                    acc.append(1)
+
+                def caller():
+                    out = []
+                    helper(out)
+                    return out
+                """
+            },
+        )
+        assert summaries["mod.helper"].arg_mutations
+        assert not summaries["mod.caller"].arg_mutations
+
+
+class TestTermination:
+    def test_direct_recursion_terminates(self, tmp_path):
+        _, summaries = summarize(
+            tmp_path,
+            {
+                "mod.py": """
+                import random
+
+                def f(n):
+                    if n:
+                        return f(n - 1)
+                    return random.random()
+                """
+            },
+        )
+        assert summaries["mod.f"].nondet
+
+    def test_mutual_recursion_terminates(self, tmp_path):
+        _, summaries = summarize(
+            tmp_path,
+            {
+                "mod.py": """
+                CACHE = {}
+
+                def even(n):
+                    CACHE[n] = True
+                    return n == 0 or odd(n - 1)
+
+                def odd(n):
+                    return n != 0 and even(n - 1)
+                """
+            },
+        )
+        assert "global-write:CACHE" in summaries["mod.odd"].global_writes
+        assert "global-write:CACHE" in summaries["mod.even"].global_writes
+
+    def test_one_witness_per_source(self, tmp_path):
+        # two paths to the same source collapse to one taint (first
+        # witness wins) — the dedup that bounds the lattice
+        _, summaries = summarize(
+            tmp_path,
+            {
+                "mod.py": """
+                import random
+
+                def a():
+                    return random.random()
+
+                def b():
+                    return random.random()
+
+                def top():
+                    return a() + b()
+                """
+            },
+        )
+        assert len(summaries["mod.top"].nondet) == 1
